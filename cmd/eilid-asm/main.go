@@ -1,0 +1,55 @@
+// Command eilid-asm assembles an MSP430 source file and writes the
+// listing (and optionally a hex dump of the image), playing the role of
+// the toolchain's assembler in the EILID build flow.
+//
+// Usage:
+//
+//	eilid-asm [-hex] [-symbols] file.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eilid/internal/asm"
+)
+
+func main() {
+	hexDump := flag.Bool("hex", false, "print a hex dump of the image")
+	symbols := flag.Bool("symbols", false, "print the symbol table")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: eilid-asm [-hex] [-symbols] file.s")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog, err := asm.Assemble(path, string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(prog.Listing.String())
+	fmt.Printf("; %d bytes emitted\n", prog.Image.Size())
+	if *symbols {
+		for _, name := range prog.SortedSymbols() {
+			fmt.Printf("%-24s = 0x%04x\n", name, prog.Symbols[name])
+		}
+	}
+	if *hexDump {
+		for _, c := range prog.Image.Chunks() {
+			for i := 0; i < len(c.Data); i += 16 {
+				end := i + 16
+				if end > len(c.Data) {
+					end = len(c.Data)
+				}
+				fmt.Printf("%04x: % x\n", int(c.Addr)+i, c.Data[i:end])
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Command eilid-attack runs the control-flow attack suite against both
+// the unprotected baseline and the EILID-protected device and prints the
+// defence matrix: every attack must compromise the former and merely
+// reset the latter.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eilid/internal/attacks"
+	"eilid/internal/core"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print scenario descriptions")
+	flag.Parse()
+
+	pipeline, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	results, err := attacks.RunAll(pipeline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-22s %-10s %-22s %-30s %s\n", "scenario", "property", "baseline", "EILID device", "defended")
+	allDefended := true
+	for _, r := range results {
+		baseline := "survived"
+		if r.Baseline.Compromised {
+			baseline = "COMPROMISED"
+		}
+		prot := "no reaction"
+		if r.Protected.Resets > 0 {
+			prot = fmt.Sprintf("reset (%s)", r.Protected.Reason)
+		}
+		if r.Protected.Compromised {
+			prot = "COMPROMISED"
+		}
+		status := "yes"
+		if !r.Defended() {
+			status = "NO"
+			allDefended = false
+		}
+		fmt.Printf("%-22s %-10s %-22s %-30s %s\n", r.Scenario.Name, r.Scenario.Property, baseline, prot, status)
+		if *verbose {
+			fmt.Printf("    %s\n", r.Scenario.Description)
+		}
+	}
+	if !allDefended {
+		os.Exit(1)
+	}
+}

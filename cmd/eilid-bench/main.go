@@ -1,0 +1,77 @@
+// Command eilid-bench regenerates the paper's evaluation artifacts:
+//
+//	eilid-bench -table 4          # Table IV (software overhead)
+//	eilid-bench -table 1|2|3      # the static comparison tables
+//	eilid-bench -figure 10        # Figure 10 (hardware cost)
+//	eilid-bench -micro            # §VI store/check micro-overhead
+//	eilid-bench -all              # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eilid/internal/core"
+	"eilid/internal/eval"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate a table (1-4)")
+	figure := flag.Int("figure", 0, "regenerate a figure (10)")
+	micro := flag.Bool("micro", false, "regenerate the micro-overhead numbers")
+	all := flag.Bool("all", false, "regenerate everything")
+	iters := flag.Int("iters", 50, "compile iterations for Table IV averaging")
+	flag.Parse()
+
+	pipeline, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	did := false
+	if *all || *table == 1 {
+		eval.RenderTableI(os.Stdout)
+		fmt.Println()
+		did = true
+	}
+	if *all || *table == 2 {
+		eval.RenderTableII(os.Stdout)
+		fmt.Println()
+		did = true
+	}
+	if *all || *table == 3 {
+		eval.RenderTableIII(os.Stdout, pipeline.Config())
+		fmt.Println()
+		did = true
+	}
+	if *all || *table == 4 {
+		t, err := eval.MeasureTableIV(pipeline, eval.MeasureOptions{CompileIterations: *iters})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		t.Render(os.Stdout)
+		fmt.Println()
+		did = true
+	}
+	if *all || *figure == 10 {
+		eval.RenderFigure10(os.Stdout)
+		fmt.Println()
+		did = true
+	}
+	if *all || *micro {
+		m, err := eval.MeasureMicro(pipeline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		m.Render(os.Stdout)
+		did = true
+	}
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,57 @@
+// Command eilid-instr runs the EILID three-iteration instrumented build
+// (paper Figure 2) over an application source and emits the final
+// CFI-aware assembly, its listing and the instrumentation statistics.
+//
+// Usage:
+//
+//	eilid-instr [-lst] [-stats] file.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eilid/internal/core"
+)
+
+func main() {
+	lst := flag.Bool("lst", false, "print the final listing instead of the source")
+	stats := flag.Bool("stats", false, "print instrumentation statistics to stderr")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: eilid-instr [-lst] [-stats] file.s")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pipeline, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	build, err := pipeline.Build(path, string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *lst {
+		fmt.Print(build.Instrumented.Listing.String())
+	} else {
+		fmt.Print(build.InstrumentedSource)
+	}
+	if *stats {
+		s := build.Stats
+		fmt.Fprintf(os.Stderr,
+			"sites: %d direct calls, %d returns, %d ISR prologues, %d ISR epilogues, %d indirect calls\n",
+			s.DirectCalls, s.Returns, s.ISRPrologues, s.ISREpilogues, s.IndirectCalls)
+		fmt.Fprintf(os.Stderr, "function table entries: %d; spilled registers: %v; inserted lines: %d\n",
+			s.TableEntries, s.SpilledRegs, s.InsertedLines)
+		fmt.Fprintf(os.Stderr, "binary: %d -> %d bytes\n",
+			build.Original.Image.Size(), build.Instrumented.Image.Size())
+	}
+}

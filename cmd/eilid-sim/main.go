@@ -1,0 +1,122 @@
+// Command eilid-sim runs firmware on the simulated openMSP430 device,
+// optionally under EILID protection, and reports the observable outcome
+// (cycles, UART transcript, GPIO activity, LCD contents, resets).
+//
+// Usage:
+//
+//	eilid-sim -app LightSensor [-unprotected]
+//	eilid-sim -file firmware.s [-uart "input"] [-max 10000000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eilid/internal/apps"
+	"eilid/internal/core"
+)
+
+func main() {
+	appName := flag.String("app", "", "run a built-in Table IV application")
+	file := flag.String("file", "", "run an assembly file")
+	uart := flag.String("uart", "", "bytes to feed the UART receiver")
+	maxCycles := flag.Uint64("max", 20_000_000, "cycle budget")
+	unprotected := flag.Bool("unprotected", false, "run without the EILID/CASU monitor")
+	list := flag.Bool("list", false, "list built-in applications")
+	flag.Parse()
+
+	if *list {
+		for _, a := range apps.All() {
+			fmt.Println(a.Name)
+		}
+		return
+	}
+
+	var source, input string
+	var budget uint64 = *maxCycles
+	switch {
+	case *appName != "":
+		app, ok := apps.ByName(*appName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown application %q (try -list)\n", *appName)
+			os.Exit(2)
+		}
+		source, input, budget = app.Source, app.UARTInput, app.MaxCycles
+	case *file != "":
+		b, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		source = string(b)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: eilid-sim -app NAME | -file firmware.s")
+		os.Exit(2)
+	}
+	if *uart != "" {
+		input = *uart
+	}
+
+	pipeline, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	build, err := pipeline.Build("firmware.s", source)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	opts := core.MachineOptions{Config: pipeline.Config()}
+	img := build.Original.Image
+	if !*unprotected {
+		opts.ROM = pipeline.ROM()
+		opts.Protected = true
+		img = build.Instrumented.Image
+	}
+	m, err := core.NewMachine(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := m.LoadFirmware(img); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if input != "" {
+		m.UART.Feed([]byte(input))
+	}
+	m.Boot()
+	res, err := m.Run(budget)
+	if err != nil && err != core.ErrCycleBudget {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	mode := "EILID-protected"
+	if *unprotected {
+		mode = "unprotected baseline"
+	}
+	fmt.Printf("device:   %s\n", mode)
+	fmt.Printf("halted:   %v (exit code %d)\n", res.Halted, res.ExitCode)
+	fmt.Printf("cycles:   %d (%.1f us at 100 MHz)\n", res.Cycles, float64(res.Cycles)/100)
+	fmt.Printf("insns:    %d\n", res.Insns)
+	fmt.Printf("resets:   %d\n", m.ResetCount)
+	for _, v := range m.ResetReasons {
+		fmt.Printf("  reason: %v\n", v)
+	}
+	if tx := m.UART.Transcript(); tx != "" {
+		fmt.Printf("uart-tx:  %q\n", tx)
+	}
+	if len(m.Port1.Events) > 0 {
+		fmt.Printf("p1-events: %d transitions\n", len(m.Port1.Events))
+	}
+	if len(m.Port2.Events) > 0 {
+		fmt.Printf("p2-events: %d transitions\n", len(m.Port2.Events))
+	}
+	if r0, r1 := m.LCD.Row(0), m.LCD.Row(1); r0 != "                " || r1 != "                " {
+		fmt.Printf("lcd:      [%s]\n          [%s]\n", r0, r1)
+	}
+}

@@ -1,0 +1,272 @@
+package apps
+
+import (
+	"fmt"
+
+	"eilid/internal/periph"
+)
+
+// ---- UltrasonicRanger -------------------------------------------------------
+
+const rangerPings = 114 // three periods of the distance model
+
+const rangerSrc = header + `
+; HC-SR04 ultrasonic ranger: ping repeatedly, convert echo width to
+; centimetres (software division by 58 us/cm), track the minimum
+; distance, and light the proximity LED under 10 cm.
+.equ NPINGS, 114
+
+.org 0xE000
+reset:
+    mov #0x0A00, sp
+main:
+    mov.b #1, &P1DIR
+    clr r9              ; LED state
+    mov #0xFFFF, r8     ; minimum distance
+    mov #NPINGS, r10
+uloop:
+    mov #1, &USTRIG
+uwait:
+    bit #1, &USST
+    jz uwait
+    mov &USWID, r12
+    mov #58, r13
+    call #udiv16        ; r12 = centimetres
+    cmp r12, r8
+    jlo u_nomin         ; current minimum is smaller
+    mov r12, r8
+u_nomin:
+    call #led_update
+    dec r10
+    jnz uloop
+    mov #'m', &UTX
+    mov #'=', &UTX
+    mov r8, r12
+    call #uart_dec
+    mov #10, &UTX
+    mov #0, &SIMCTL
+uhalt:
+    jmp uhalt
+
+; r12 = distance in cm; LED on when closer than 10
+led_update:
+    cmp #10, r12
+    jlo lu_near
+    tst r9
+    jz lu_ret
+    clr r9
+    mov.b #0, &P1OUT
+lu_ret:
+    ret
+lu_near:
+    tst r9
+    jnz lu_ret
+    mov #1, r9
+    mov.b #1, &P1OUT
+    ret
+` + udiv16 + uartDec + `
+.org 0xFFFE
+.word reset
+`
+
+func rangerExpected() (uart string, p1 []uint8) {
+	state := 0
+	min := uint16(0xFFFF)
+	for n := 0; n < rangerPings; n++ {
+		d := periph.RangerDistanceModel(n)
+		if d < min {
+			min = d
+		}
+		if d < 10 && state == 0 {
+			state = 1
+			p1 = append(p1, 1)
+		} else if d >= 10 && state == 1 {
+			state = 0
+			p1 = append(p1, 0)
+		}
+	}
+	return fmt.Sprintf("m=%d\n", min), p1
+}
+
+// UltrasonicRanger is the paper's Ultrasonic Ranger benchmark.
+func UltrasonicRanger() App {
+	return App{
+		Name:      "UltrasonicRanger",
+		Source:    rangerSrc,
+		MaxCycles: 5_000_000,
+		Check: func(insp *Inspection) error {
+			if !insp.Halted {
+				return fmt.Errorf("did not halt")
+			}
+			uart, p1 := rangerExpected()
+			if insp.UART != uart {
+				return fmt.Errorf("uart = %q, want %q", insp.UART, uart)
+			}
+			if err := eqEvents("p1", insp.P1Events, p1); err != nil {
+				return fmt.Errorf("proximity LED: %w", err)
+			}
+			return nil
+		},
+	}
+}
+
+// ---- SyringePump ------------------------------------------------------------
+
+const syringeInput = "D020\nW010\nD005\nQ"
+
+const syringeSrc = header + `
+; OpenSyringePump-style controller: reads commands from the UART
+; ("D<nnn>" dispense, "W<nnn>" withdraw, "Q" quit) and drives a stepper
+; driver on P2 (bit0 step, bit1 direction) through an indirect-dispatch
+; command table — the workload that exercises EILID's forward-edge CFI.
+.equ STEPMASK, 1
+.equ DIRMASK,  2
+
+.org 0xE000
+reset:
+    mov #0x0A00, sp
+main:
+    mov.b #3, &P2DIR
+pump_loop:
+    call #read_char
+    cmp #'Q', r12
+    jeq pump_done
+    cmp #10, r12
+    jeq pump_loop       ; skip newlines
+    mov r12, r9         ; command byte
+    call #read_num      ; r12 = 3-digit argument
+    mov r12, r10
+    mov #cmdtab, r14
+pfind:
+    mov @r14+, r15
+    tst r15
+    jz pump_bad
+    mov @r14+, r11
+    cmp r9, r15
+    jne pfind
+    mov r10, r12
+    call r11            ; indirect dispatch to the handler
+    jmp pump_loop
+pump_bad:
+    mov #'?', &UTX
+    jmp pump_loop
+pump_done:
+    mov #'O', &UTX
+    mov #'K', &UTX
+    mov #10, &UTX
+    mov #0, &SIMCTL
+phalt:
+    jmp phalt
+
+; blocking UART read -> r12
+read_char:
+rc_wait:
+    bit #1, &USTAT
+    jz rc_wait
+    mov &URX, r12
+    ret
+
+; read three ASCII digits -> r12
+read_num:
+    push r9
+    push r10
+    clr r9
+    mov #3, r10
+rn_loop:
+    call #read_char
+    sub #'0', r12
+    rla r9              ; acc*2
+    mov r9, r13
+    rla r9
+    rla r9              ; acc*8
+    add r13, r9         ; acc*10
+    add r12, r9
+    dec r10
+    jnz rn_loop
+    mov r9, r12
+    pop r10
+    pop r9
+    ret
+
+; r12 = steps
+dispense:
+    bic.b #DIRMASK, &P2OUT
+    jmp do_steps
+withdraw:
+    bis.b #DIRMASK, &P2OUT
+do_steps:
+    tst r12
+    jz ds_ret
+ds_loop:
+    bis.b #STEPMASK, &P2OUT
+    call #step_delay
+    bic.b #STEPMASK, &P2OUT
+    call #step_delay
+    dec r12
+    jnz ds_loop
+ds_ret:
+    ret
+
+; stepper pulse width (~15 us high / low at 100 MHz)
+step_delay:
+    mov #500, r13
+sd_loop:
+    dec r13
+    jnz sd_loop
+    ret
+
+cmdtab:
+.word 'D', dispense
+.word 'W', withdraw
+.word 0, 0
+
+.org 0xFFFE
+.word reset
+`
+
+// syringeExpected simulates the command stream against the stepper-pin
+// protocol to predict the exact P2OUT transition sequence.
+func syringeExpected() (uart string, p2 []uint8) {
+	out := uint8(0)
+	emit := func(v uint8) {
+		if v != out {
+			out = v
+			p2 = append(p2, v)
+		}
+	}
+	commands := []struct {
+		dir   uint8
+		steps int
+	}{{0, 20}, {2, 10}, {0, 5}}
+	for _, c := range commands {
+		emit(out&^2 | c.dir)
+		for i := 0; i < c.steps; i++ {
+			emit(out | 1)
+			emit(out &^ 1)
+		}
+	}
+	return "OK\n", p2
+}
+
+// SyringePump is the paper's Syringe Pump benchmark.
+func SyringePump() App {
+	return App{
+		Name:      "SyringePump",
+		Source:    syringeSrc,
+		UARTInput: syringeInput,
+		MaxCycles: 5_000_000,
+		Check: func(insp *Inspection) error {
+			if !insp.Halted {
+				return fmt.Errorf("did not halt")
+			}
+			uart, p2 := syringeExpected()
+			if insp.UART != uart {
+				return fmt.Errorf("uart = %q, want %q", insp.UART, uart)
+			}
+			if err := eqEvents("p2", insp.P2Events, p2); err != nil {
+				return fmt.Errorf("stepper trace: %w", err)
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,195 @@
+// Package apps contains the seven benchmark applications of the paper's
+// Table IV — LightSensor, UltrasonicRanger, FireSensor, SyringePump,
+// TempSensor, Charlieplexing and LcdSensor — rewritten in MSP430 assembly
+// against the simulated peripherals of internal/periph. The originals are
+// Seeed Grove/LaunchPad demos, OpenSyringePump and ticepd msp430-examples
+// ported to openMSP430; these versions keep the structural properties
+// that drive EILID's overhead: function-call density, ISR usage, indirect
+// dispatch (SyringePump), polling loops and formatted output.
+//
+// Every application is deterministic: the sensor models are pure
+// functions of the sample index, so the observable behaviour (GPIO
+// transition sequence, UART transcript, LCD contents) must be bit-for-bit
+// identical between the original and the EILID-instrumented build — the
+// equivalence the integration tests assert.
+package apps
+
+import (
+	"fmt"
+
+	"eilid/internal/core"
+)
+
+// App is one benchmark application.
+type App struct {
+	// Name as reported in the paper's Table IV.
+	Name string
+	// Source is the MSP430 assembly.
+	Source string
+	// UARTInput is fed to the receive queue before boot.
+	UARTInput string
+	// MaxCycles bounds a run (well above the expected runtime).
+	MaxCycles uint64
+	// Check validates the observable behaviour of a halted run.
+	Check func(insp *Inspection) error
+}
+
+// Inspection is the observable state of a finished run — everything an
+// outside observer (or the paper's testbench) could see.
+type Inspection struct {
+	Halted   bool
+	ExitCode uint16
+	Cycles   uint64
+	Insns    uint64
+	Resets   int
+	UART     string
+	LCD      [2]string
+	P1Events []uint8 // P1OUT transition values, in order
+	P2Events []uint8
+}
+
+// Inspect captures a machine's observable state. res is the result of the
+// Run that finished.
+func Inspect(m *core.Machine, res core.RunResult) *Inspection {
+	insp := &Inspection{
+		Halted:   res.Halted,
+		ExitCode: res.ExitCode,
+		Cycles:   res.Cycles,
+		Insns:    res.Insns,
+		Resets:   m.ResetCount,
+		UART:     m.UART.Transcript(),
+		LCD:      [2]string{m.LCD.Row(0), m.LCD.Row(1)},
+	}
+	for _, e := range m.Port1.Events {
+		insp.P1Events = append(insp.P1Events, e.Value)
+	}
+	for _, e := range m.Port2.Events {
+		insp.P2Events = append(insp.P2Events, e.Value)
+	}
+	return insp
+}
+
+// Equivalent reports the first observable difference between two runs
+// (ignoring timing), or nil. This is the original-vs-instrumented
+// functional-preservation check.
+func Equivalent(a, b *Inspection) error {
+	if a.Halted != b.Halted {
+		return fmt.Errorf("halted: %v vs %v", a.Halted, b.Halted)
+	}
+	if a.ExitCode != b.ExitCode {
+		return fmt.Errorf("exit code: %d vs %d", a.ExitCode, b.ExitCode)
+	}
+	if a.UART != b.UART {
+		return fmt.Errorf("uart transcripts differ:\n%q\n%q", a.UART, b.UART)
+	}
+	if a.LCD != b.LCD {
+		return fmt.Errorf("lcd contents differ: %q vs %q", a.LCD, b.LCD)
+	}
+	if err := eqEvents("p1", a.P1Events, b.P1Events); err != nil {
+		return err
+	}
+	return eqEvents("p2", a.P2Events, b.P2Events)
+}
+
+func eqEvents(port string, a, b []uint8) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%s event counts differ: %d vs %d", port, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("%s event %d differs: 0x%02x vs 0x%02x", port, i, a[i], b[i])
+		}
+	}
+	return nil
+}
+
+// All returns the seven Table IV applications in the paper's order.
+func All() []App {
+	return []App{
+		LightSensor(),
+		UltrasonicRanger(),
+		FireSensor(),
+		SyringePump(),
+		TempSensor(),
+		Charlieplexing(),
+		LcdSensor(),
+	}
+}
+
+// ByName finds an application.
+func ByName(name string) (App, bool) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}
+
+// Common register-definition header shared by the application sources.
+const header = `
+.equ P1IN,   0x0020
+.equ P1OUT,  0x0021
+.equ P1DIR,  0x0022
+.equ P2OUT,  0x0029
+.equ P2DIR,  0x002A
+.equ UTX,    0x0070
+.equ URX,    0x0072
+.equ USTAT,  0x0074
+.equ ADCCTL, 0x0080
+.equ ADCMEM, 0x0082
+.equ ADCST,  0x0084
+.equ LCDCMD, 0x0090
+.equ LCDDAT, 0x0092
+.equ USTRIG, 0x00A0
+.equ USWID,  0x00A2
+.equ USST,   0x00A4
+.equ SIMCTL, 0x00FC
+.equ TACTL,  0x0160
+.equ TAR,    0x0170
+.equ TACCR0, 0x0172
+`
+
+// udiv16 is the software division routine shared by several apps:
+// r12 / r13 -> quotient r12, remainder r14; clobbers r15.
+const udiv16 = `
+; unsigned 16-bit divide: r12/r13 -> r12 (quot), r14 (rem); clobbers r15
+udiv16:
+    clr r14
+    mov #16, r15
+udiv_loop:
+    rla r12
+    rlc r14
+    cmp r13, r14
+    jlo udiv_skip
+    sub r13, r14
+    bis #1, r12
+udiv_skip:
+    dec r15
+    jnz udiv_loop
+    ret
+`
+
+// uartDec prints r12 as unsigned decimal on the UART; clobbers r12-r15,
+// preserves r10.
+const uartDec = `
+; print r12 in decimal on the UART
+uart_dec:
+    push r10
+    clr r10
+udec_split:
+    mov #10, r13
+    call #udiv16
+    add #'0', r14
+    push r14
+    inc r10
+    tst r12
+    jnz udec_split
+udec_out:
+    pop r13
+    mov r13, &UTX
+    dec r10
+    jnz udec_out
+    pop r10
+    ret
+`

@@ -1,0 +1,207 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"eilid/internal/core"
+)
+
+func pipeline(t *testing.T) *core.Pipeline {
+	t.Helper()
+	p, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// runMachine boots a machine with the app's UART input and runs it.
+func runMachine(t *testing.T, m *core.Machine, app App) *Inspection {
+	t.Helper()
+	if app.UARTInput != "" {
+		m.UART.Feed([]byte(app.UARTInput))
+	}
+	m.Boot()
+	res, err := m.Run(app.MaxCycles)
+	if err != nil {
+		t.Fatalf("%s: %v (pc=0x%04x)", app.Name, err, m.CPU.PC())
+	}
+	return Inspect(m, res)
+}
+
+func TestAppsOriginalBehaviour(t *testing.T) {
+	p := pipeline(t)
+	for _, app := range All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			prog, err := p.BuildOriginal(app.Name+".s", app.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := core.NewMachine(core.MachineOptions{Config: p.Config()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.LoadFirmware(prog.Image); err != nil {
+				t.Fatal(err)
+			}
+			insp := runMachine(t, m, app)
+			if err := app.Check(insp); err != nil {
+				t.Fatalf("behaviour check: %v", err)
+			}
+			t.Logf("%s: %d cycles, %d instructions, %d bytes",
+				app.Name, insp.Cycles, insp.Insns, prog.Image.SizeInRange(0xE000, 0xF7FF))
+		})
+	}
+}
+
+func TestAppsInstrumentedEquivalence(t *testing.T) {
+	p := pipeline(t)
+	for _, app := range All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			r, err := p.Build(app.Name+".s", app.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Original on the unprotected baseline.
+			mb, err := core.NewMachine(core.MachineOptions{Config: p.Config()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mb.LoadFirmware(r.Original.Image); err != nil {
+				t.Fatal(err)
+			}
+			orig := runMachine(t, mb, app)
+
+			// Instrumented on the EILID-protected device.
+			mp, err := core.NewMachine(core.MachineOptions{
+				Config: p.Config(), ROM: p.ROM(), Protected: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mp.LoadFirmware(r.Instrumented.Image); err != nil {
+				t.Fatal(err)
+			}
+			inst := runMachine(t, mp, app)
+
+			if inst.Resets != 0 {
+				t.Fatalf("benign run reset %d times: %v", inst.Resets, mp.ResetReasons)
+			}
+			if err := Equivalent(orig, inst); err != nil {
+				t.Fatalf("observable behaviour diverged: %v", err)
+			}
+			if err := app.Check(orig); err != nil {
+				t.Errorf("original behaviour: %v", err)
+			}
+			if err := app.Check(inst); err != nil {
+				t.Errorf("instrumented behaviour: %v", err)
+			}
+			// Shadow stack must be balanced when the app halts.
+			if mp.CPU.R[core.RegIndex] != 0 {
+				t.Errorf("shadow index %d at halt", mp.CPU.R[core.RegIndex])
+			}
+
+			over := 100 * float64(inst.Cycles-orig.Cycles) / float64(orig.Cycles)
+			t.Logf("%s: %d -> %d cycles (+%.2f%%), binary %d -> %d bytes, sites=%d",
+				app.Name, orig.Cycles, inst.Cycles, over,
+				r.Original.Image.SizeInRange(0xE000, 0xF7FF),
+				r.Instrumented.Image.SizeInRange(0xE000, 0xF7FF),
+				r.Stats.Sites())
+			if inst.Cycles <= orig.Cycles {
+				t.Error("instrumented run should cost extra cycles")
+			}
+			if over > 100 {
+				t.Errorf("run-time overhead %.1f%% implausibly high for a real app", over)
+			}
+		})
+	}
+}
+
+func TestAppInstrumentationShape(t *testing.T) {
+	p := pipeline(t)
+	type want struct {
+		indirect bool
+		isr      bool
+	}
+	wants := map[string]want{
+		"LightSensor":      {},
+		"UltrasonicRanger": {},
+		"FireSensor":       {isr: true},
+		"SyringePump":      {indirect: true},
+		"TempSensor":       {},
+		"Charlieplexing":   {},
+		"LcdSensor":        {},
+	}
+	for _, app := range All() {
+		r, err := p.Build(app.Name+".s", app.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		w := wants[app.Name]
+		if r.Stats.DirectCalls == 0 || r.Stats.Returns == 0 {
+			t.Errorf("%s: no backward-edge instrumentation (%+v)", app.Name, r.Stats)
+		}
+		if (r.Stats.IndirectCalls > 0) != w.indirect {
+			t.Errorf("%s: indirect sites = %d, want indirect=%v", app.Name, r.Stats.IndirectCalls, w.indirect)
+		}
+		if (r.Stats.ISRPrologues > 0) != w.isr {
+			t.Errorf("%s: ISR sites = %d, want isr=%v", app.Name, r.Stats.ISRPrologues, w.isr)
+		}
+		if w.isr && r.Stats.ISRPrologues != r.Stats.ISREpilogues {
+			t.Errorf("%s: unbalanced ISR instrumentation %+v", app.Name, r.Stats)
+		}
+	}
+}
+
+func TestAllAndByName(t *testing.T) {
+	apps := All()
+	if len(apps) != 7 {
+		t.Fatalf("All() = %d apps, want the paper's 7", len(apps))
+	}
+	names := map[string]bool{}
+	for _, a := range apps {
+		if names[a.Name] {
+			t.Errorf("duplicate app %q", a.Name)
+		}
+		names[a.Name] = true
+		got, ok := ByName(a.Name)
+		if !ok || got.Name != a.Name {
+			t.Errorf("ByName(%q) failed", a.Name)
+		}
+		if strings.TrimSpace(a.Source) == "" {
+			t.Errorf("%s has no source", a.Name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName accepted unknown app")
+	}
+}
+
+func TestExpectationMirrors(t *testing.T) {
+	if ev := lightExpectedEvents(); len(ev) < 4 {
+		t.Errorf("light model produces %d LED events; expected several day/night flips", len(ev))
+	}
+	uart, p1 := fireExpected()
+	if strings.Count(uart, "FIRE!\n") != 2 || len(p1) != 4 {
+		t.Errorf("fire expectations: %q %v", uart, p1)
+	}
+	ruart, rp1 := rangerExpected()
+	if ruart != "m=5\n" || len(rp1) < 2 {
+		t.Errorf("ranger expectations: %q %v", ruart, rp1)
+	}
+	_, p2 := syringeExpected()
+	if len(p2) != 72 {
+		t.Errorf("syringe expects %d stepper events, want 72", len(p2))
+	}
+	if ev := charlieExpectedEvents(); len(ev) == 0 {
+		t.Error("charlie expects no LED events")
+	}
+	rows := lcdExpectedRows()
+	if !strings.HasPrefix(rows[0], "T=") || !strings.HasPrefix(rows[1], "n=12") {
+		t.Errorf("lcd rows: %q", rows)
+	}
+}

@@ -1,0 +1,240 @@
+package apps
+
+import (
+	"fmt"
+
+	"eilid/internal/periph"
+)
+
+// ---- Charlieplexing ---------------------------------------------------------
+
+const charlieFrames = 96
+
+const charlieSrc = header + `
+; Charlieplexed LED chaser: six LEDs on three pins (P1.0-P1.2). The main
+; loop advances one LED per frame using per-LED direction/output tables
+; and a software frame delay, as the original Arduino-style sketch does.
+.equ NFRAMES, 96
+
+.org 0xE000
+reset:
+    mov #0x0A00, sp
+main:
+    clr r9              ; frame index
+cploop:
+    inc r9
+    cmp #NFRAMES, r9
+    jeq cpdone
+    mov r9, r12
+    call #show_led
+    call #frame_delay
+    jmp cploop
+cpdone:
+    mov #0, &SIMCTL
+cphalt:
+    jmp cphalt
+
+; animation frame time
+frame_delay:
+    mov #1700, r13
+fd_loop:
+    dec r13
+    jnz fd_loop
+    ret
+
+; r12 = frame; light LED (frame mod 6)
+show_led:
+    mov #6, r13
+    call #udiv16        ; r14 = frame mod 6
+    mov.b dirtab(r14), r13
+    mov.b r13, &P1DIR
+    mov.b outtab(r14), r13
+    mov.b r13, &P1OUT
+    ret
+` + udiv16 + `
+; charlieplexing tables: LED k drives (high,low) pin pairs
+; (A,B)(B,A)(B,C)(C,B)(A,C)(C,A) with A=bit0 B=bit1 C=bit2
+dirtab:
+.byte 3, 3, 6, 6, 5, 5
+outtab:
+.byte 1, 2, 2, 4, 1, 4
+
+.org 0xFFFE
+.word reset
+`
+
+func charlieExpectedEvents() []uint8 {
+	outtab := []uint8{1, 2, 2, 4, 1, 4}
+	var events []uint8
+	out := uint8(0)
+	for f := 1; f < charlieFrames; f++ {
+		v := outtab[f%6]
+		if v != out {
+			out = v
+			events = append(events, v)
+		}
+	}
+	return events
+}
+
+// Charlieplexing is the paper's Charlieplexing benchmark.
+func Charlieplexing() App {
+	return App{
+		Name:      "Charlieplexing",
+		Source:    charlieSrc,
+		MaxCycles: 10_000_000,
+		Check: func(insp *Inspection) error {
+			if !insp.Halted {
+				return fmt.Errorf("did not halt")
+			}
+			if err := eqEvents("p1", insp.P1Events, charlieExpectedEvents()); err != nil {
+				return fmt.Errorf("LED matrix trace: %w", err)
+			}
+			return nil
+		},
+	}
+}
+
+// ---- LcdSensor --------------------------------------------------------------
+
+const lcdUpdates = 12
+
+const lcdSrc = header + `
+; LCD thermometer: sample the temperature channel and render
+; "T=<int>.<frac>" on row 0 and the update count on row 1 of a 16x2
+; HD44780-style display.
+.equ NUPD, 12
+
+.org 0xE000
+reset:
+    mov #0x0A00, sp
+main:
+    mov #NUPD, r10
+    clr r9              ; update counter
+lloop:
+    mov #0x0101, &ADCCTL
+lwait:
+    bit #1, &ADCST
+    jz lwait
+    mov &ADCMEM, r12
+    call #convert
+    push r12
+    mov #0x80, &LCDCMD  ; row 0, column 0
+    call #lcd_prefix
+    pop r12
+    mov #10, r13
+    call #udiv16
+    push r14
+    call #lcd_dec
+    mov #'.', &LCDDAT
+    pop r14
+    add #'0', r14
+    mov r14, &LCDDAT
+    inc r9
+    mov #0xC0, &LCDCMD  ; row 1, column 0
+    mov #'n', &LCDDAT
+    mov #'=', &LCDDAT
+    mov r9, r12
+    call #lcd_dec
+    call #lpace
+    dec r10
+    jnz lloop
+    mov #0, &SIMCTL
+lhalt:
+    jmp lhalt
+
+; display refresh interval
+lpace:
+    mov #9000, r13
+lp_loop:
+    dec r13
+    jnz lp_loop
+    ret
+
+lcd_prefix:
+    mov #'T', &LCDDAT
+    mov #'=', &LCDDAT
+    ret
+
+; raw (r12) -> tenths of Celsius (r12), as in the TempSensor app
+convert:
+    mov r12, r13
+    rra r13
+    mov r13, r14
+    rra r13
+    add r13, r14
+    rra r13
+    rra r13
+    add r13, r14
+    rra r13
+    rra r13
+    rra r13
+    sub r13, r14
+    mov r14, r12
+    ret
+
+; print r12 in decimal on the LCD
+lcd_dec:
+    push r10
+    clr r10
+ld_split:
+    mov #10, r13
+    call #udiv16
+    add #'0', r14
+    push r14
+    inc r10
+    tst r12
+    jnz ld_split
+ld_out:
+    pop r13
+    mov r13, &LCDDAT
+    dec r10
+    jnz ld_out
+    pop r10
+    ret
+` + udiv16 + `
+.org 0xFFFE
+.word reset
+`
+
+// lcdExpectedRows simulates the display writes to predict the final rows.
+func lcdExpectedRows() [2]string {
+	row := [2][]byte{
+		[]byte("                "),
+		[]byte("                "),
+	}
+	write := func(r int, col *int, s string) {
+		for i := 0; i < len(s); i++ {
+			if *col < 16 {
+				row[r][*col] = s[i]
+			}
+			*col++
+		}
+	}
+	for n := 0; n < lcdUpdates; n++ {
+		t := tempConvert(periph.TempSensorModel(n))
+		col := 0
+		write(0, &col, fmt.Sprintf("T=%d.%d", t/10, t%10))
+		col = 0
+		write(1, &col, fmt.Sprintf("n=%d", n+1))
+	}
+	return [2]string{string(row[0]), string(row[1])}
+}
+
+// LcdSensor is the paper's Lcd Sensor benchmark.
+func LcdSensor() App {
+	return App{
+		Name:      "LcdSensor",
+		Source:    lcdSrc,
+		MaxCycles: 5_000_000,
+		Check: func(insp *Inspection) error {
+			if !insp.Halted {
+				return fmt.Errorf("did not halt")
+			}
+			if want := lcdExpectedRows(); insp.LCD != want {
+				return fmt.Errorf("lcd = %q, want %q", insp.LCD, want)
+			}
+			return nil
+		},
+	}
+}

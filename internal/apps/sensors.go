@@ -1,0 +1,345 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"eilid/internal/periph"
+)
+
+// ---- LightSensor -----------------------------------------------------------
+
+const lightSensorSamples = 96 // sampling loop iterations
+
+const lightSensorSrc = header + `
+; Grove light sensor demo: sample the photoresistor on ADC channel 0 at
+; a fixed rate and drive the night-light LED on P1.0 with hysteresis.
+.equ NSAMP,      96
+.equ THRESH_ON,  1200   ; darker than this: LED on
+.equ THRESH_OFF, 1400   ; brighter than this: LED off
+
+.org 0xE000
+reset:
+    mov #0x0A00, sp
+main:
+    mov.b #1, &P1DIR
+    clr r9              ; LED state
+    mov #NSAMP, r10
+mloop:
+    call #sample
+    call #update_led
+    call #pace
+    dec r10
+    jnz mloop
+    mov #0, &SIMCTL
+halt:
+    jmp halt
+
+; one conversion on channel 0; result in r12
+sample:
+    mov #0x0001, &ADCCTL
+swait:
+    bit #1, &ADCST
+    jz swait
+    mov &ADCMEM, r12
+    ret
+
+; r12 = sample; hysteresis state in r9
+update_led:
+    tst r9
+    jnz led_is_on
+    cmp #THRESH_ON, r12
+    jhs ul_ret          ; bright enough: stay off
+    mov #1, r9
+    mov.b #1, &P1OUT
+ul_ret:
+    ret
+led_is_on:
+    cmp #THRESH_OFF, r12
+    jlo ul_ret          ; still dark: stay on
+    clr r9
+    mov.b #0, &P1OUT
+    ret
+
+; sampling-rate pacing (the original sketch sleeps between readings)
+pace:
+    mov #800, r13
+pc_loop:
+    dec r13
+    jnz pc_loop
+    ret
+
+.org 0xFFFE
+.word reset
+`
+
+// lightExpectedEvents mirrors the firmware's hysteresis over the sensor
+// model to predict the exact P1OUT transition sequence.
+func lightExpectedEvents() []uint8 {
+	var events []uint8
+	state := uint8(0)
+	for n := 0; n < lightSensorSamples; n++ {
+		v := periph.LightSensorModel(n)
+		if state == 0 && v < 1200 {
+			state = 1
+			events = append(events, 1)
+		} else if state == 1 && v >= 1400 {
+			state = 0
+			events = append(events, 0)
+		}
+	}
+	return events
+}
+
+// LightSensor is the paper's LightSensor benchmark.
+func LightSensor() App {
+	return App{
+		Name:      "LightSensor",
+		Source:    lightSensorSrc,
+		MaxCycles: 5_000_000,
+		Check: func(insp *Inspection) error {
+			if !insp.Halted {
+				return fmt.Errorf("did not halt")
+			}
+			want := lightExpectedEvents()
+			if err := eqEvents("p1", insp.P1Events, want); err != nil {
+				return fmt.Errorf("LED trace: %w", err)
+			}
+			return nil
+		},
+	}
+}
+
+// ---- TempSensor -------------------------------------------------------------
+
+const tempSensorReadings = 16
+
+const tempSensorSrc = header + `
+; LM35-style temperature logger: sample ADC channel 1, convert the raw
+; reading to tenths of a degree with a shift-and-add approximation of
+; *3300/4096, and print "T=<int>.<frac>" lines on the UART.
+.equ NREAD, 16
+
+.org 0xE000
+reset:
+    mov #0x0A00, sp
+main:
+    mov #NREAD, r10
+tloop:
+    call #sample
+    call #convert
+    call #report
+    call #tpace
+    dec r10
+    jnz tloop
+    mov #0, &SIMCTL
+thalt:
+    jmp thalt
+
+; logging interval (the original sketch sleeps between lines)
+tpace:
+    mov #3000, r13
+tp_loop:
+    dec r13
+    jnz tp_loop
+    ret
+
+; one conversion on channel 1; result in r12
+sample:
+    mov #0x0101, &ADCCTL
+twait:
+    bit #1, &ADCST
+    jz twait
+    mov &ADCMEM, r12
+    ret
+
+; raw (r12) -> tenths of Celsius (r12):
+; t = raw/2 + raw/4 + raw/16 - raw/128  (~ *0.8047 ~ 3300/4096)
+convert:
+    mov r12, r13
+    rra r13             ; raw>>1
+    mov r13, r14
+    rra r13             ; raw>>2
+    add r13, r14
+    rra r13
+    rra r13             ; raw>>4
+    add r13, r14
+    rra r13
+    rra r13
+    rra r13             ; raw>>7
+    sub r13, r14
+    mov r14, r12
+    ret
+
+; print "T=<t/10>.<t%10>\n" for t in r12
+report:
+    mov #'T', &UTX
+    mov #'=', &UTX
+    mov #10, r13
+    call #udiv16
+    push r14
+    call #uart_dec
+    mov #'.', &UTX
+    pop r14
+    add #'0', r14
+    mov r14, &UTX
+    mov #10, &UTX
+    ret
+` + udiv16 + uartDec + `
+.org 0xFFFE
+.word reset
+`
+
+// tempConvert mirrors the firmware conversion.
+func tempConvert(raw uint16) uint16 {
+	return raw>>1 + raw>>2 + raw>>4 - raw>>7
+}
+
+func tempExpectedUART() string {
+	var b strings.Builder
+	for n := 0; n < tempSensorReadings; n++ {
+		t := tempConvert(periph.TempSensorModel(n))
+		fmt.Fprintf(&b, "T=%d.%d\n", t/10, t%10)
+	}
+	return b.String()
+}
+
+// TempSensor is the paper's Temp Sensor benchmark.
+func TempSensor() App {
+	return App{
+		Name:      "TempSensor",
+		Source:    tempSensorSrc,
+		MaxCycles: 5_000_000,
+		Check: func(insp *Inspection) error {
+			if !insp.Halted {
+				return fmt.Errorf("did not halt")
+			}
+			if want := tempExpectedUART(); insp.UART != want {
+				return fmt.Errorf("uart = %q, want %q", insp.UART, want)
+			}
+			return nil
+		},
+	}
+}
+
+// ---- FireSensor -------------------------------------------------------------
+
+const fireSensorSamples = 128
+
+const fireSensorSrc = header + `
+; Flame detector: the main loop samples the flame channel continuously,
+; drives the alarm LED on P1.1 with edge detection and announces fires
+; on the UART; a timer interrupt maintains an uptime counter in the
+; background (the watchdog-kick pattern of the original firmware).
+.equ NSAMP, 128
+.equ TICK,  0x0300
+
+.org 0xE000
+reset:
+    mov #0x0A00, sp
+main:
+    mov.b #2, &P1DIR
+    clr r9              ; alarm state
+    clr &TICK
+    mov #NSAMP, r10
+    mov #2500, &TACCR0
+    mov #5, &TACTL      ; up mode, interrupt enabled
+    eint
+floop:
+    mov #0x0201, &ADCCTL
+fdone:
+    bit #1, &ADCST
+    jz fdone
+    mov &ADCMEM, r12
+    call #classify
+    call #fpace
+    dec r10
+    jnz floop
+    dint
+    mov #0, &SIMCTL
+fhalt:
+    jmp fhalt
+
+; detector sampling interval
+fpace:
+    mov #700, r13
+fp_loop:
+    dec r13
+    jnz fp_loop
+    ret
+
+; r12 = flame sample; alarm threshold 0x0800, edge-triggered reporting
+classify:
+    cmp #0x0800, r12
+    jhs cl_fire
+    tst r9
+    jz cl_ret
+    clr r9
+    mov.b #0, &P1OUT
+cl_ret:
+    ret
+cl_fire:
+    tst r9
+    jnz cl_ret
+    mov #1, r9
+    mov.b #2, &P1OUT
+    call #send_fire
+    ret
+
+send_fire:
+    mov #'F', &UTX
+    mov #'I', &UTX
+    mov #'R', &UTX
+    mov #'E', &UTX
+    mov #'!', &UTX
+    mov #10, &UTX
+    ret
+
+FIRE_ISR:
+    inc &TICK
+    reti
+
+.org 0xFFF0
+.word FIRE_ISR
+.org 0xFFFE
+.word reset
+`
+
+func fireExpected() (uart string, p1 []uint8) {
+	state := 0
+	var b strings.Builder
+	for n := 0; n < fireSensorSamples; n++ {
+		v := periph.FlameSensorModel(n)
+		if v >= 0x0800 && state == 0 {
+			state = 1
+			p1 = append(p1, 2)
+			b.WriteString("FIRE!\n")
+		} else if v < 0x0800 && state == 1 {
+			state = 0
+			p1 = append(p1, 0)
+		}
+	}
+	return b.String(), p1
+}
+
+// FireSensor is the paper's Fire Sensor benchmark.
+func FireSensor() App {
+	return App{
+		Name:      "FireSensor",
+		Source:    fireSensorSrc,
+		MaxCycles: 5_000_000,
+		Check: func(insp *Inspection) error {
+			if !insp.Halted {
+				return fmt.Errorf("did not halt")
+			}
+			uart, p1 := fireExpected()
+			if insp.UART != uart {
+				return fmt.Errorf("uart = %q, want %q", insp.UART, uart)
+			}
+			if err := eqEvents("p1", insp.P1Events, p1); err != nil {
+				return fmt.Errorf("alarm trace: %w", err)
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,558 @@
+// Package asm implements a two-pass MSP430 assembler that plays the role
+// msp430-gcc's assembler plays in the paper's toolchain: it turns `.s`
+// sources into loadable images and — crucially for EILID — into listing
+// files (`.lst`) that record the final address of every source line. The
+// EILID instrumenter (internal/core) consumes those listings to resolve
+// the numeric return addresses it embeds before each call site, exactly
+// as the paper's Figure 2 pipeline does.
+//
+// Supported syntax: the full core + emulated mnemonic set, all seven
+// addressing modes, labels, constant expressions (with `$` as the
+// location counter), and the directives .org .equ .word .byte .ascii
+// .asciz .space .align (.text/.data/.global/.section are accepted and
+// ignored, easing ports of GNU-style sources).
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"eilid/internal/isa"
+)
+
+// Error is an assembly diagnostic tied to a source line.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+// Program is the result of assembling one source file.
+type Program struct {
+	Name    string
+	Image   *Image
+	Listing *Listing
+	// Symbols maps every label and .equ constant to its value.
+	Symbols map[string]uint16
+}
+
+// Assemble runs both passes over src. name is used in diagnostics and the
+// listing header.
+func Assemble(name, src string) (*Program, error) {
+	a := &assembler{name: name, syms: map[string]int64{}}
+	if err := a.parse(src); err != nil {
+		return nil, err
+	}
+	if err := a.pass1(); err != nil {
+		return nil, err
+	}
+	if err := a.pass2(); err != nil {
+		return nil, err
+	}
+	symbols := make(map[string]uint16, len(a.syms))
+	for k, v := range a.syms {
+		symbols[k] = uint16(v)
+	}
+	return &Program{
+		Name:    name,
+		Image:   a.image,
+		Listing: a.listing,
+		Symbols: symbols,
+	}, nil
+}
+
+type assembler struct {
+	name  string
+	stmts []*statement
+	syms  map[string]int64
+	// addrs[i] is the location counter at statement i (set by pass 1).
+	addrs   []uint16
+	image   *Image
+	listing *Listing
+}
+
+func (a *assembler) errf(line int, format string, args ...interface{}) error {
+	return &Error{File: a.name, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) parse(src string) error {
+	for i, raw := range strings.Split(src, "\n") {
+		st, err := parseLine(i+1, raw)
+		if err != nil {
+			return a.errf(i+1, "%v", err)
+		}
+		a.stmts = append(a.stmts, st)
+	}
+	return nil
+}
+
+// pass1 assigns addresses to every statement and collects symbols. The
+// subtle part is instruction sizing: an immediate whose expression is
+// already resolvable is sized with constant generators applied; anything
+// else (a forward reference) reserves an extension word and is flagged
+// forceExt so pass 2 encodes it identically.
+func (a *assembler) pass1() error {
+	dot := uint16(0)
+	a.addrs = make([]uint16, len(a.stmts))
+	for i, st := range a.stmts {
+		a.addrs[i] = dot
+		if st.label != "" {
+			if _, dup := a.syms[st.label]; dup {
+				return a.errf(st.line, "duplicate symbol %q", st.label)
+			}
+			a.syms[st.label] = int64(dot)
+		}
+		switch st.kind {
+		case stmtEmpty:
+			continue
+		case stmtJump:
+			dot += 2
+		case stmtInstr:
+			size, err := a.sizeInstr(st, dot)
+			if err != nil {
+				return err
+			}
+			dot += size
+		case stmtDirective:
+			nd, err := a.directiveSize(st, dot)
+			if err != nil {
+				return err
+			}
+			dot = nd
+		}
+	}
+	return nil
+}
+
+// sizeInstr computes the encoded size of an instruction statement and
+// pins down immediate encoding decisions.
+func (a *assembler) sizeInstr(st *statement, dot uint16) (uint16, error) {
+	size := uint16(2)
+	if st.src != nil {
+		n, err := a.operandExtWords(st, st.src, dot, false)
+		if err != nil {
+			return 0, err
+		}
+		size += 2 * n
+	}
+	if st.dst != nil {
+		n, err := a.operandExtWords(st, st.dst, dot, true)
+		if err != nil {
+			return 0, err
+		}
+		size += 2 * n
+	}
+	return size, nil
+}
+
+// operandExtWords decides whether the operand needs an extension word.
+func (a *assembler) operandExtWords(st *statement, o *parsedOperand, dot uint16, isDst bool) (uint16, error) {
+	switch o.kind {
+	case opndReg, opndIndirect, opndIndirectInc:
+		return 0, nil
+	case opndAbs, opndIndexed, opndSymbolic, opndPCRel:
+		return 1, nil
+	case opndImm:
+		if isDst {
+			return 0, a.errf(st.line, "immediate destination")
+		}
+		if v, ok := constEval(o.e, a.syms, dot); ok {
+			probe := isa.Imm(v)
+			if in := (isa.Instruction{Op: st.op, Byte: st.byteOp, Src: probe, Dst: isa.RegOp(4)}); in.Words() == 1 {
+				// A constant generator covers it: no extension word. The
+				// value is guaranteed stable because it only depended on
+				// already-defined symbols.
+				return 0, nil
+			}
+			o.forceExt = true
+			return 1, nil
+		}
+		// Forward reference: reserve the extension word.
+		o.forceExt = true
+		return 1, nil
+	}
+	return 0, a.errf(st.line, "unsupported operand")
+}
+
+// directiveSize advances the location counter for a directive in pass 1
+// (and validates arguments that affect layout).
+func (a *assembler) directiveSize(st *statement, dot uint16) (uint16, error) {
+	switch st.directive {
+	case ".org":
+		if len(st.args) != 1 {
+			return 0, a.errf(st.line, ".org needs one argument")
+		}
+		e, err := parseExpr(st.args[0])
+		if err != nil {
+			return 0, a.errf(st.line, ".org: %v", err)
+		}
+		v, err := evalUint16(e, a.syms, dot)
+		if err != nil {
+			return 0, a.errf(st.line, ".org: %v", err)
+		}
+		return v, nil
+	case ".equ", ".set":
+		if len(st.args) != 2 {
+			return 0, a.errf(st.line, "%s needs name, value", st.directive)
+		}
+		name := strings.TrimSpace(st.args[0])
+		if !isIdent(name) {
+			return 0, a.errf(st.line, "bad symbol name %q", name)
+		}
+		e, err := parseExpr(st.args[1])
+		if err != nil {
+			return 0, a.errf(st.line, "%s: %v", st.directive, err)
+		}
+		v, err := e.eval(a.syms, dot)
+		if err != nil {
+			return 0, a.errf(st.line, "%s %s: %v", st.directive, name, err)
+		}
+		if _, dup := a.syms[name]; dup {
+			return 0, a.errf(st.line, "duplicate symbol %q", name)
+		}
+		a.syms[name] = v
+		return dot, nil
+	case ".word":
+		return dot + uint16(2*len(st.args)), nil
+	case ".byte":
+		return dot + uint16(len(st.args)), nil
+	case ".space", ".skip":
+		if len(st.args) < 1 {
+			return 0, a.errf(st.line, "%s needs a size", st.directive)
+		}
+		e, err := parseExpr(st.args[0])
+		if err != nil {
+			return 0, a.errf(st.line, "%s: %v", st.directive, err)
+		}
+		n, err := evalUint16(e, a.syms, dot)
+		if err != nil {
+			return 0, a.errf(st.line, "%s: %v", st.directive, err)
+		}
+		return dot + n, nil
+	case ".align":
+		n := uint16(2)
+		if len(st.args) == 1 {
+			e, err := parseExpr(st.args[0])
+			if err != nil {
+				return 0, a.errf(st.line, ".align: %v", err)
+			}
+			v, err := evalUint16(e, a.syms, dot)
+			if err != nil {
+				return 0, a.errf(st.line, ".align: %v", err)
+			}
+			n = v
+		}
+		if n == 0 || n&(n-1) != 0 {
+			return 0, a.errf(st.line, ".align argument must be a power of two")
+		}
+		return (dot + n - 1) &^ (n - 1), nil
+	case ".ascii", ".asciz":
+		total := 0
+		for _, arg := range st.args {
+			s, err := parseStringLit(arg)
+			if err != nil {
+				return 0, a.errf(st.line, "%s: %v", st.directive, err)
+			}
+			total += len(s)
+			if st.directive == ".asciz" {
+				total++
+			}
+		}
+		return dot + uint16(total), nil
+	case ".text", ".data", ".section", ".global", ".globl", ".type", ".size", ".file":
+		return dot, nil // accepted, no layout effect
+	}
+	return 0, a.errf(st.line, "unknown directive %q", st.directive)
+}
+
+// pass2 encodes everything at the addresses fixed by pass 1.
+func (a *assembler) pass2() error {
+	a.image = NewImage()
+	a.listing = &Listing{Name: a.name, Symbols: map[string]uint16{}}
+	for k, v := range a.syms {
+		a.listing.Symbols[k] = uint16(v)
+	}
+
+	for i, st := range a.stmts {
+		dot := a.addrs[i]
+		switch st.kind {
+		case stmtEmpty:
+			if st.label != "" {
+				a.listing.Entries = append(a.listing.Entries, ListEntry{
+					Addr: dot, Line: st.line, Source: st.text, Label: st.label,
+				})
+			}
+		case stmtJump:
+			target, err := evalUint16(st.jumpTarget, a.syms, dot)
+			if err != nil {
+				return a.errf(st.line, "jump target: %v", err)
+			}
+			delta := int32(target) - int32(dot) - 2
+			if delta%2 != 0 {
+				return a.errf(st.line, "jump target 0x%04x is odd", target)
+			}
+			off := delta / 2
+			if off < -512 || off > 511 {
+				return a.errf(st.line, "jump target 0x%04x out of range (offset %d words)", target, off)
+			}
+			in := isa.Instruction{Op: st.op, JumpOffset: int16(off)}
+			if err := a.emit(st, dot, in); err != nil {
+				return err
+			}
+		case stmtInstr:
+			in, err := a.buildInstr(st, dot)
+			if err != nil {
+				return err
+			}
+			if err := a.emit(st, dot, in); err != nil {
+				return err
+			}
+		case stmtDirective:
+			if err := a.emitDirective(st, dot); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// buildInstr resolves operands into an isa.Instruction at address dot.
+func (a *assembler) buildInstr(st *statement, dot uint16) (isa.Instruction, error) {
+	in := isa.Instruction{Op: st.op, Byte: st.byteOp}
+
+	// First resolve non-symbolic parts so ExtOffsets is meaningful.
+	build := func(o *parsedOperand, isDst bool) (isa.Operand, error) {
+		switch o.kind {
+		case opndReg:
+			return isa.RegOp(o.reg), nil
+		case opndIndirect:
+			return isa.Indirect(o.reg), nil
+		case opndIndirectInc:
+			return isa.IndirectInc(o.reg), nil
+		case opndImm:
+			v, err := evalUint16(o.e, a.syms, dot)
+			if err != nil {
+				return isa.Operand{}, a.errf(st.line, "immediate: %v", err)
+			}
+			if st.byteOp {
+				v &= 0x00FF
+			}
+			op := isa.Imm(v)
+			if o.forceExt {
+				// Pass 1 reserved an extension word; mark NoCG only when a
+				// constant generator could otherwise absorb the value, so
+				// the operand stays canonical (and listing-decodable) for
+				// values that need the extension word anyway.
+				probe := isa.Instruction{Op: isa.MOV, Byte: st.byteOp, Src: op, Dst: isa.RegOp(4)}
+				if probe.Words() == 1 {
+					op.NoCG = true
+				}
+			}
+			return op, nil
+		case opndAbs:
+			v, err := evalUint16(o.e, a.syms, dot)
+			if err != nil {
+				return isa.Operand{}, a.errf(st.line, "absolute: %v", err)
+			}
+			return isa.Abs(v), nil
+		case opndIndexed:
+			v, err := evalUint16(o.e, a.syms, dot)
+			if err != nil {
+				return isa.Operand{}, a.errf(st.line, "index: %v", err)
+			}
+			return isa.Indexed(v, o.reg), nil
+		case opndSymbolic:
+			// X is patched below once extension word addresses are known.
+			return isa.Operand{Mode: isa.ModeSymbolic, Reg: isa.PC}, nil
+		case opndPCRel:
+			v, err := evalUint16(o.e, a.syms, dot)
+			if err != nil {
+				return isa.Operand{}, a.errf(st.line, "pc-relative: %v", err)
+			}
+			return isa.Operand{Mode: isa.ModeSymbolic, Reg: isa.PC, X: v}, nil
+		}
+		return isa.Operand{}, a.errf(st.line, "unsupported operand")
+	}
+
+	var err error
+	if st.src != nil {
+		if in.Src, err = build(st.src, false); err != nil {
+			return in, err
+		}
+	}
+	if st.dst != nil {
+		if in.Dst, err = build(st.dst, true); err != nil {
+			return in, err
+		}
+	}
+
+	// Patch symbolic displacements: X = target - extWordAddr.
+	srcOff, srcHas, dstOff, dstHas := in.ExtOffsets()
+	if st.src != nil && st.src.kind == opndSymbolic {
+		if !srcHas {
+			return in, a.errf(st.line, "internal: symbolic source without extension word")
+		}
+		target, err := evalUint16(st.src.e, a.syms, dot)
+		if err != nil {
+			return in, a.errf(st.line, "symbolic operand: %v", err)
+		}
+		in.Src.X = target - (dot + uint16(srcOff))
+	}
+	if st.dst != nil && st.dst.kind == opndSymbolic {
+		if !dstHas {
+			return in, a.errf(st.line, "internal: symbolic destination without extension word")
+		}
+		target, err := evalUint16(st.dst.e, a.syms, dot)
+		if err != nil {
+			return in, a.errf(st.line, "symbolic operand: %v", err)
+		}
+		in.Dst.X = target - (dot + uint16(dstOff))
+	}
+	return in, nil
+}
+
+// emit encodes in and appends image bytes and a listing entry.
+func (a *assembler) emit(st *statement, dot uint16, in isa.Instruction) error {
+	if dot&1 != 0 {
+		return a.errf(st.line, "instruction at odd address 0x%04x (missing .align?)", dot)
+	}
+	words, err := isa.Encode(in)
+	if err != nil {
+		return a.errf(st.line, "encode: %v", err)
+	}
+	var buf []byte
+	for _, w := range words {
+		buf = append(buf, byte(w), byte(w>>8))
+	}
+	if err := a.image.Put(dot, buf); err != nil {
+		return a.errf(st.line, "%v", err)
+	}
+	a.listing.Entries = append(a.listing.Entries, ListEntry{
+		Addr: dot, Words: words, Line: st.line, Source: st.text,
+		Label: st.label, IsInstr: true, Instr: in,
+	})
+	return nil
+}
+
+// emitDirective writes data directives into the image.
+func (a *assembler) emitDirective(st *statement, dot uint16) error {
+	entry := ListEntry{Addr: dot, Line: st.line, Source: st.text, Label: st.label}
+	switch st.directive {
+	case ".word":
+		if dot&1 != 0 {
+			return a.errf(st.line, ".word at odd address 0x%04x", dot)
+		}
+		var buf []byte
+		var words []uint16
+		for _, arg := range st.args {
+			e, err := parseExpr(arg)
+			if err != nil {
+				return a.errf(st.line, ".word: %v", err)
+			}
+			v, err := evalUint16(e, a.syms, dot)
+			if err != nil {
+				return a.errf(st.line, ".word: %v", err)
+			}
+			words = append(words, v)
+			buf = append(buf, byte(v), byte(v>>8))
+		}
+		if err := a.image.Put(dot, buf); err != nil {
+			return a.errf(st.line, "%v", err)
+		}
+		entry.Words = words
+	case ".byte":
+		var buf []byte
+		for _, arg := range st.args {
+			e, err := parseExpr(arg)
+			if err != nil {
+				return a.errf(st.line, ".byte: %v", err)
+			}
+			v, err := e.eval(a.syms, dot)
+			if err != nil {
+				return a.errf(st.line, ".byte: %v", err)
+			}
+			if v < -128 || v > 255 {
+				return a.errf(st.line, ".byte value %d out of range", v)
+			}
+			buf = append(buf, byte(v))
+		}
+		if err := a.image.Put(dot, buf); err != nil {
+			return a.errf(st.line, "%v", err)
+		}
+		entry.Bytes = len(buf)
+	case ".ascii", ".asciz":
+		var buf []byte
+		for _, arg := range st.args {
+			s, err := parseStringLit(arg)
+			if err != nil {
+				return a.errf(st.line, "%s: %v", st.directive, err)
+			}
+			buf = append(buf, s...)
+			if st.directive == ".asciz" {
+				buf = append(buf, 0)
+			}
+		}
+		if err := a.image.Put(dot, buf); err != nil {
+			return a.errf(st.line, "%v", err)
+		}
+		entry.Bytes = len(buf)
+	case ".space", ".skip":
+		// Reserve without emitting (image stays sparse).
+	}
+	a.listing.Entries = append(a.listing.Entries, entry)
+	return nil
+}
+
+// parseStringLit parses a double-quoted string with C-style escapes.
+func parseStringLit(s string) ([]byte, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return nil, fmt.Errorf("expected quoted string, got %q", s)
+	}
+	body := s[1 : len(s)-1]
+	var out []byte
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			out = append(out, c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return nil, fmt.Errorf("trailing backslash in string")
+		}
+		switch body[i] {
+		case 'n':
+			out = append(out, '\n')
+		case 'r':
+			out = append(out, '\r')
+		case 't':
+			out = append(out, '\t')
+		case '0':
+			out = append(out, 0)
+		case '\\':
+			out = append(out, '\\')
+		case '"':
+			out = append(out, '"')
+		default:
+			return nil, fmt.Errorf("unknown escape \\%c", body[i])
+		}
+	}
+	return out, nil
+}
+
+// SortedSymbols returns the program's symbols in name order (stable
+// output for listings and tests).
+func (p *Program) SortedSymbols() []string {
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,314 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// expr is an assembly-time constant expression. Evaluation receives the
+// symbol table and the current location counter (the value of '$').
+type expr interface {
+	eval(syms map[string]int64, dot uint16) (int64, error)
+	String() string
+}
+
+type numExpr int64
+
+func (n numExpr) eval(map[string]int64, uint16) (int64, error) { return int64(n), nil }
+func (n numExpr) String() string                               { return strconv.FormatInt(int64(n), 10) }
+
+type symExpr string
+
+func (s symExpr) eval(syms map[string]int64, _ uint16) (int64, error) {
+	v, ok := syms[string(s)]
+	if !ok {
+		return 0, fmt.Errorf("undefined symbol %q", string(s))
+	}
+	return v, nil
+}
+func (s symExpr) String() string { return string(s) }
+
+type dotExpr struct{}
+
+func (dotExpr) eval(_ map[string]int64, dot uint16) (int64, error) { return int64(dot), nil }
+func (dotExpr) String() string                                     { return "$" }
+
+type unaryExpr struct {
+	op rune
+	e  expr
+}
+
+func (u unaryExpr) eval(syms map[string]int64, dot uint16) (int64, error) {
+	v, err := u.e.eval(syms, dot)
+	if err != nil {
+		return 0, err
+	}
+	switch u.op {
+	case '-':
+		return -v, nil
+	case '~':
+		return ^v, nil
+	}
+	return 0, fmt.Errorf("bad unary operator %q", u.op)
+}
+func (u unaryExpr) String() string { return string(u.op) + u.e.String() }
+
+type binExpr struct {
+	op   string
+	l, r expr
+}
+
+func (b binExpr) eval(syms map[string]int64, dot uint16) (int64, error) {
+	l, err := b.l.eval(syms, dot)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.r.eval(syms, dot)
+	if err != nil {
+		return 0, err
+	}
+	switch b.op {
+	case "+":
+		return l + r, nil
+	case "-":
+		return l - r, nil
+	case "*":
+		return l * r, nil
+	case "/":
+		if r == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return l / r, nil
+	case "%":
+		if r == 0 {
+			return 0, fmt.Errorf("modulo by zero")
+		}
+		return l % r, nil
+	case "<<":
+		return l << uint(r&63), nil
+	case ">>":
+		return l >> uint(r&63), nil
+	case "&":
+		return l & r, nil
+	case "|":
+		return l | r, nil
+	case "^":
+		return l ^ r, nil
+	}
+	return 0, fmt.Errorf("bad operator %q", b.op)
+}
+func (b binExpr) String() string { return "(" + b.l.String() + b.op + b.r.String() + ")" }
+
+// exprLexer tokenizes an expression string.
+type exprLexer struct {
+	s   string
+	pos int
+}
+
+type exprTok struct {
+	kind string // "num", "sym", "op", "dot", "eof"
+	num  int64
+	text string
+}
+
+func (l *exprLexer) next() (exprTok, error) {
+	for l.pos < len(l.s) && (l.s[l.pos] == ' ' || l.s[l.pos] == '\t') {
+		l.pos++
+	}
+	if l.pos >= len(l.s) {
+		return exprTok{kind: "eof"}, nil
+	}
+	c := l.s[l.pos]
+	switch {
+	case c == '$':
+		l.pos++
+		return exprTok{kind: "dot"}, nil
+	case c == '\'':
+		// character literal
+		rest := l.s[l.pos+1:]
+		if len(rest) >= 2 && rest[0] == '\\' {
+			m := map[byte]byte{'n': '\n', 'r': '\r', 't': '\t', '0': 0, '\\': '\\', '\'': '\''}
+			v, ok := m[rest[1]]
+			if !ok || len(rest) < 3 || rest[2] != '\'' {
+				return exprTok{}, fmt.Errorf("bad character literal")
+			}
+			l.pos += 4
+			return exprTok{kind: "num", num: int64(v)}, nil
+		}
+		if len(rest) >= 2 && rest[1] == '\'' {
+			l.pos += 3
+			return exprTok{kind: "num", num: int64(rest[0])}, nil
+		}
+		return exprTok{}, fmt.Errorf("bad character literal")
+	case unicode.IsDigit(rune(c)):
+		start := l.pos
+		for l.pos < len(l.s) && (isAlnum(l.s[l.pos]) || l.s[l.pos] == 'x' || l.s[l.pos] == 'X') {
+			l.pos++
+		}
+		text := l.s[start:l.pos]
+		v, err := parseNumber(text)
+		if err != nil {
+			return exprTok{}, err
+		}
+		return exprTok{kind: "num", num: v}, nil
+	case isSymStart(c):
+		start := l.pos
+		for l.pos < len(l.s) && isSymChar(l.s[l.pos]) {
+			l.pos++
+		}
+		return exprTok{kind: "sym", text: l.s[start:l.pos]}, nil
+	case strings.ContainsRune("+-*/%&|^~()", rune(c)):
+		l.pos++
+		return exprTok{kind: "op", text: string(c)}, nil
+	case c == '<' || c == '>':
+		if l.pos+1 < len(l.s) && l.s[l.pos+1] == c {
+			l.pos += 2
+			return exprTok{kind: "op", text: string(c) + string(c)}, nil
+		}
+		return exprTok{}, fmt.Errorf("bad operator %q", c)
+	}
+	return exprTok{}, fmt.Errorf("unexpected character %q in expression", c)
+}
+
+func isAlnum(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+func isSymStart(c byte) bool {
+	return c == '_' || c == '.' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+func isSymChar(c byte) bool { return isSymStart(c) || c >= '0' && c <= '9' }
+
+// parseNumber handles decimal, 0x hex, 0b binary and 0o octal.
+func parseNumber(s string) (int64, error) {
+	ls := strings.ToLower(s)
+	switch {
+	case strings.HasPrefix(ls, "0x"):
+		return strconv.ParseInt(ls[2:], 16, 64)
+	case strings.HasPrefix(ls, "0b"):
+		return strconv.ParseInt(ls[2:], 2, 64)
+	case strings.HasPrefix(ls, "0o"):
+		return strconv.ParseInt(ls[2:], 8, 64)
+	default:
+		return strconv.ParseInt(ls, 10, 64)
+	}
+}
+
+// exprParser is a precedence-climbing parser.
+type exprParser struct {
+	lex *exprLexer
+	cur exprTok
+	err error
+}
+
+func parseExpr(s string) (expr, error) {
+	p := &exprParser{lex: &exprLexer{s: s}}
+	p.advance()
+	if p.err != nil {
+		return nil, p.err
+	}
+	e := p.parseBin(0)
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.cur.kind != "eof" {
+		return nil, fmt.Errorf("trailing junk %q in expression %q", p.cur.text, s)
+	}
+	return e, nil
+}
+
+func (p *exprParser) advance() {
+	if p.err != nil {
+		return
+	}
+	p.cur, p.err = p.lex.next()
+}
+
+var binPrec = map[string]int{
+	"|": 1, "^": 2, "&": 3, "<<": 4, ">>": 4,
+	"+": 5, "-": 5, "*": 6, "/": 6, "%": 6,
+}
+
+func (p *exprParser) parseBin(minPrec int) expr {
+	left := p.parseUnary()
+	for p.err == nil && p.cur.kind == "op" {
+		prec, ok := binPrec[p.cur.text]
+		if !ok || prec < minPrec {
+			break
+		}
+		op := p.cur.text
+		p.advance()
+		right := p.parseBin(prec + 1)
+		if p.err != nil {
+			return nil
+		}
+		left = binExpr{op: op, l: left, r: right}
+	}
+	return left
+}
+
+func (p *exprParser) parseUnary() expr {
+	if p.err != nil {
+		return nil
+	}
+	switch {
+	case p.cur.kind == "op" && (p.cur.text == "-" || p.cur.text == "~"):
+		op := rune(p.cur.text[0])
+		p.advance()
+		return unaryExpr{op: op, e: p.parseUnary()}
+	case p.cur.kind == "op" && p.cur.text == "+":
+		p.advance()
+		return p.parseUnary()
+	case p.cur.kind == "op" && p.cur.text == "(":
+		p.advance()
+		e := p.parseBin(0)
+		if p.err != nil {
+			return nil
+		}
+		if p.cur.kind != "op" || p.cur.text != ")" {
+			p.err = fmt.Errorf("missing closing parenthesis")
+			return nil
+		}
+		p.advance()
+		return e
+	case p.cur.kind == "num":
+		e := numExpr(p.cur.num)
+		p.advance()
+		return e
+	case p.cur.kind == "sym":
+		e := symExpr(p.cur.text)
+		p.advance()
+		return e
+	case p.cur.kind == "dot":
+		p.advance()
+		return dotExpr{}
+	}
+	p.err = fmt.Errorf("unexpected token in expression")
+	return nil
+}
+
+// evalUint16 evaluates e and range-checks the result into a uint16
+// (accepting negative values down to -0x8000, which wrap as two's
+// complement, matching assembler convention).
+func evalUint16(e expr, syms map[string]int64, dot uint16) (uint16, error) {
+	v, err := e.eval(syms, dot)
+	if err != nil {
+		return 0, err
+	}
+	if v < -0x8000 || v > 0xFFFF {
+		return 0, fmt.Errorf("value %d out of 16-bit range", v)
+	}
+	return uint16(v), nil
+}
+
+// constEval tries to evaluate e with the currently known symbols; ok is
+// false when the expression references a symbol that is not defined yet
+// (a forward reference).
+func constEval(e expr, syms map[string]int64, dot uint16) (uint16, bool) {
+	v, err := evalUint16(e, syms, dot)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

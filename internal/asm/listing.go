@@ -1,0 +1,213 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"eilid/internal/isa"
+)
+
+// ListEntry is one line of a listing file: the address a source line
+// assembled to, the machine words it produced, and the source text.
+// EILIDinst resolves call-site return addresses from these entries
+// (paper Figure 2: the `.lst` inputs of the instrumentation iterations).
+type ListEntry struct {
+	Addr    uint16
+	Words   []uint16 // machine words (instructions, .word data)
+	Bytes   int      // byte count for byte-granular data (.byte/.ascii)
+	Line    int      // 1-based source line number
+	Source  string   // trimmed source text
+	Label   string   // label defined on this line, if any
+	IsInstr bool
+	Instr   isa.Instruction // valid when IsInstr
+}
+
+// Size returns the number of bytes this entry occupies.
+func (e ListEntry) Size() uint16 {
+	if len(e.Words) > 0 {
+		return uint16(2 * len(e.Words))
+	}
+	return uint16(e.Bytes)
+}
+
+// Listing is the full listing of one assembly run.
+type Listing struct {
+	Name    string
+	Symbols map[string]uint16
+	Entries []ListEntry
+}
+
+// EntryForLine returns the listing entry produced by the given source
+// line, if any. This is the instrumenter's primary lookup.
+func (l *Listing) EntryForLine(line int) (ListEntry, bool) {
+	for _, e := range l.Entries {
+		if e.Line == line && (e.IsInstr || e.Size() > 0 || e.Label != "") {
+			return e, true
+		}
+	}
+	return ListEntry{}, false
+}
+
+// FunctionSymbols returns symbols that label instruction entries (i.e.
+// code labels, the candidate function entry points for the EILID
+// forward-edge table), sorted by address.
+func (l *Listing) FunctionSymbols() []string {
+	addrs := map[uint16]bool{}
+	for _, e := range l.Entries {
+		if e.IsInstr {
+			addrs[e.Addr] = true
+		}
+	}
+	var names []string
+	for name, v := range l.Symbols {
+		if addrs[v] {
+			names = append(names, name)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if l.Symbols[names[i]] != l.Symbols[names[j]] {
+			return l.Symbols[names[i]] < l.Symbols[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// String renders the listing in the textual `.lst` format:
+//
+//	; listing: <name>
+//	; symbols:
+//	;   <name> = 0x....
+//	e000  4031 0a00  |    3| mov #0x0A00, sp
+//
+// The format round-trips through ParseListing; the EILID pipeline passes
+// listings between iterations as text, as the paper's tooling does.
+func (l *Listing) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; listing: %s\n; symbols:\n", l.Name)
+	names := make([]string, 0, len(l.Symbols))
+	for n := range l.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, ";   %s = 0x%04x\n", n, l.Symbols[n])
+	}
+	for _, e := range l.Entries {
+		var wordCol string
+		switch {
+		case e.IsInstr:
+			wordCol = isa.FormatWords(e.Words)
+		case len(e.Words) > 0:
+			// Data words carry an '=' marker so ParseListing never
+			// confuses them with instructions (a .word whose value
+			// happens to decode would otherwise round-trip wrong).
+			parts := make([]string, len(e.Words))
+			for i, w := range e.Words {
+				parts[i] = fmt.Sprintf("=%04x", w)
+			}
+			wordCol = strings.Join(parts, " ")
+		case e.Bytes > 0:
+			wordCol = fmt.Sprintf("<%d bytes>", e.Bytes)
+		}
+		fmt.Fprintf(&b, "%04x  %-24s |%5d| %s\n", e.Addr, wordCol, e.Line, e.Source)
+	}
+	return b.String()
+}
+
+// ParseListing parses the textual format produced by String. Instruction
+// words are re-decoded so that IsInstr/Instr are populated; entries whose
+// words do not decode (data .word lines) are kept as data.
+func ParseListing(text string) (*Listing, error) {
+	l := &Listing{Symbols: map[string]uint16{}}
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimRight(raw, " \t\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			body := strings.TrimSpace(line[1:])
+			switch {
+			case strings.HasPrefix(body, "listing:"):
+				l.Name = strings.TrimSpace(strings.TrimPrefix(body, "listing:"))
+			case strings.Contains(body, " = 0x"):
+				parts := strings.SplitN(body, " = ", 2)
+				if len(parts) == 2 {
+					v, err := strconv.ParseUint(strings.TrimPrefix(parts[1], "0x"), 16, 16)
+					if err != nil {
+						return nil, fmt.Errorf("listing line %d: bad symbol value %q", lineNo+1, parts[1])
+					}
+					l.Symbols[strings.TrimSpace(parts[0])] = uint16(v)
+				}
+			}
+			continue
+		}
+		// Data line: "addr  words |line| source"
+		bar1 := strings.Index(line, "|")
+		bar2 := -1
+		if bar1 >= 0 {
+			if rel := strings.Index(line[bar1+1:], "|"); rel >= 0 {
+				bar2 = bar1 + 1 + rel
+			}
+		}
+		if bar1 < 0 || bar2 < 0 {
+			return nil, fmt.Errorf("listing line %d: malformed entry %q", lineNo+1, line)
+		}
+		head := strings.Fields(line[:bar1])
+		if len(head) == 0 {
+			return nil, fmt.Errorf("listing line %d: missing address", lineNo+1)
+		}
+		addr64, err := strconv.ParseUint(head[0], 16, 16)
+		if err != nil {
+			return nil, fmt.Errorf("listing line %d: bad address %q", lineNo+1, head[0])
+		}
+		srcLine, err := strconv.Atoi(strings.TrimSpace(line[bar1+1 : bar2]))
+		if err != nil {
+			return nil, fmt.Errorf("listing line %d: bad line number", lineNo+1)
+		}
+		entry := ListEntry{
+			Addr:   uint16(addr64),
+			Line:   srcLine,
+			Source: strings.TrimSpace(line[bar2+1:]),
+		}
+		if len(head) > 1 && strings.HasPrefix(head[1], "<") {
+			// "<N bytes>" data annotation
+			var n int
+			if _, err := fmt.Sscanf(strings.Join(head[1:], " "), "<%d bytes>", &n); err != nil {
+				return nil, fmt.Errorf("listing line %d: bad byte annotation", lineNo+1)
+			}
+			entry.Bytes = n
+		} else {
+			isData := false
+			for _, h := range head[1:] {
+				hh := h
+				if strings.HasPrefix(hh, "=") {
+					isData = true
+					hh = hh[1:]
+				}
+				w, err := strconv.ParseUint(hh, 16, 16)
+				if err != nil {
+					return nil, fmt.Errorf("listing line %d: bad word %q", lineNo+1, h)
+				}
+				entry.Words = append(entry.Words, uint16(w))
+			}
+			if len(entry.Words) > 0 && !isData {
+				in, n, err := isa.Decode(entry.Words)
+				if err != nil || n != len(entry.Words) {
+					return nil, fmt.Errorf("listing line %d: undecodable instruction words", lineNo+1)
+				}
+				entry.IsInstr = true
+				entry.Instr = in
+			}
+		}
+		// Recover label definitions from source text ("name:").
+		src := entry.Source
+		if i := strings.Index(src, ":"); i > 0 && isIdent(src[:i]) {
+			entry.Label = src[:i]
+		}
+		l.Entries = append(l.Entries, entry)
+	}
+	return l, nil
+}

@@ -1,0 +1,481 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"eilid/internal/isa"
+)
+
+// operandKind mirrors the syntactic operand classes.
+type operandKind uint8
+
+const (
+	opndReg operandKind = iota
+	opndImm
+	opndAbs
+	opndIndirect
+	opndIndirectInc
+	opndIndexed
+	opndSymbolic
+	// opndPCRel is an explicit "x(pc)" operand: a raw PC-relative
+	// displacement measured from the extension word, as the disassembler
+	// prints symbolic operands. Unlike opndSymbolic the expression is the
+	// displacement itself, not the target address.
+	opndPCRel
+)
+
+// parsedOperand is an operand before symbol resolution.
+type parsedOperand struct {
+	kind operandKind
+	reg  isa.Reg
+	e    expr // immediate value, absolute address, index, or symbolic target
+	// forceExt records the pass-1 sizing decision for immediates: when
+	// true the operand reserves an extension word even if the final value
+	// is CG-eligible.
+	forceExt bool
+}
+
+// stmtKind distinguishes parsed statement types.
+type stmtKind uint8
+
+const (
+	stmtInstr stmtKind = iota
+	stmtJump
+	stmtDirective
+	stmtEmpty
+)
+
+// statement is one parsed source line.
+type statement struct {
+	kind  stmtKind
+	line  int    // 1-based source line
+	text  string // source text (trimmed, comments stripped for listing)
+	label string // label defined on this line, if any
+
+	// Instruction statements.
+	op     isa.Opcode
+	byteOp bool
+	src    *parsedOperand
+	dst    *parsedOperand
+
+	// Jump statements.
+	jumpTarget expr
+
+	// Directive statements.
+	directive string
+	args      []string
+}
+
+// registers by name.
+var regNames = map[string]isa.Reg{
+	"pc": isa.PC, "sp": isa.SP, "sr": isa.SR,
+	"r0": isa.PC, "r1": isa.SP, "r2": isa.SR, "r3": isa.CG,
+	"r4": 4, "r5": 5, "r6": 6, "r7": 7, "r8": 8, "r9": 9,
+	"r10": 10, "r11": 11, "r12": 12, "r13": 13, "r14": 14, "r15": 15,
+}
+
+// format I mnemonics.
+var fmt1Mnemonics = map[string]isa.Opcode{
+	"mov": isa.MOV, "add": isa.ADD, "addc": isa.ADDC, "subc": isa.SUBC,
+	"sub": isa.SUB, "cmp": isa.CMP, "dadd": isa.DADD, "bit": isa.BIT,
+	"bic": isa.BIC, "bis": isa.BIS, "xor": isa.XOR, "and": isa.AND,
+}
+
+// format II mnemonics.
+var fmt2Mnemonics = map[string]isa.Opcode{
+	"rrc": isa.RRC, "swpb": isa.SWPB, "rra": isa.RRA, "sxt": isa.SXT,
+	"push": isa.PUSH, "call": isa.CALL,
+}
+
+// jump mnemonics including TI aliases.
+var jumpMnemonics = map[string]isa.Opcode{
+	"jne": isa.JNE, "jnz": isa.JNE, "jeq": isa.JEQ, "jz": isa.JEQ,
+	"jnc": isa.JNC, "jlo": isa.JNC, "jc": isa.JC, "jhs": isa.JC,
+	"jn": isa.JN, "jge": isa.JGE, "jl": isa.JL, "jmp": isa.JMP,
+}
+
+// stripComment removes ';' and '//' comments, respecting string literals.
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c == '"' && (i == 0 || line[i-1] != '\\') {
+			inStr = !inStr
+		}
+		if inStr {
+			continue
+		}
+		if c == ';' {
+			return line[:i]
+		}
+		if c == '/' && i+1 < len(line) && line[i+1] == '/' {
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// splitOperands splits on commas outside parentheses and strings.
+func splitOperands(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case '(':
+			if !inStr {
+				depth++
+			}
+		case ')':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if depth == 0 && !inStr {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	last := strings.TrimSpace(s[start:])
+	if last != "" || len(out) > 0 {
+		out = append(out, last)
+	}
+	return out
+}
+
+// parseOperand parses one operand string.
+func parseOperand(s string) (*parsedOperand, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("empty operand")
+	}
+	low := strings.ToLower(s)
+	if r, ok := regNames[low]; ok {
+		return &parsedOperand{kind: opndReg, reg: r}, nil
+	}
+	switch s[0] {
+	case '#':
+		e, err := parseExpr(s[1:])
+		if err != nil {
+			return nil, fmt.Errorf("immediate %q: %v", s, err)
+		}
+		return &parsedOperand{kind: opndImm, e: e}, nil
+	case '&':
+		e, err := parseExpr(s[1:])
+		if err != nil {
+			return nil, fmt.Errorf("absolute %q: %v", s, err)
+		}
+		return &parsedOperand{kind: opndAbs, e: e}, nil
+	case '@':
+		rest := s[1:]
+		inc := false
+		if strings.HasSuffix(rest, "+") {
+			inc = true
+			rest = rest[:len(rest)-1]
+		}
+		r, ok := regNames[strings.ToLower(strings.TrimSpace(rest))]
+		if !ok {
+			return nil, fmt.Errorf("bad indirect operand %q", s)
+		}
+		if inc {
+			return &parsedOperand{kind: opndIndirectInc, reg: r}, nil
+		}
+		return &parsedOperand{kind: opndIndirect, reg: r}, nil
+	}
+	// indexed: expr(reg)
+	if strings.HasSuffix(s, ")") {
+		if open := strings.LastIndex(s, "("); open > 0 {
+			if r, ok := regNames[strings.ToLower(strings.TrimSpace(s[open+1:len(s)-1]))]; ok {
+				e, err := parseExpr(s[:open])
+				if err != nil {
+					return nil, fmt.Errorf("index expression in %q: %v", s, err)
+				}
+				if r == isa.PC {
+					return &parsedOperand{kind: opndPCRel, reg: r, e: e}, nil
+				}
+				return &parsedOperand{kind: opndIndexed, reg: r, e: e}, nil
+			}
+		}
+	}
+	// bare expression: symbolic (PC-relative) addressing
+	e, err := parseExpr(s)
+	if err != nil {
+		return nil, fmt.Errorf("operand %q: %v", s, err)
+	}
+	return &parsedOperand{kind: opndSymbolic, e: e}, nil
+}
+
+// parseLine parses one source line into a statement (label and/or
+// operation).
+func parseLine(lineNo int, raw string) (*statement, error) {
+	text := strings.TrimRight(stripComment(raw), " \t")
+	// The listing carries the original text (including comments): the
+	// EILID instrumenter and humans both read listings, and the inserted
+	// lines are identified by their trailing comments.
+	st := &statement{kind: stmtEmpty, line: lineNo, text: strings.TrimSpace(strings.TrimRight(raw, " \t\r"))}
+	s := strings.TrimSpace(text)
+	if s == "" {
+		return st, nil
+	}
+
+	// Label?
+	if i := strings.Index(s, ":"); i > 0 {
+		cand := s[:i]
+		if isIdent(cand) {
+			st.label = cand
+			s = strings.TrimSpace(s[i+1:])
+			if s == "" {
+				return st, nil
+			}
+		}
+	}
+
+	// Directive?
+	if s[0] == '.' {
+		fields := strings.SplitN(s, " ", 2)
+		st.kind = stmtDirective
+		st.directive = strings.ToLower(strings.TrimSpace(fields[0]))
+		if len(fields) == 2 {
+			st.args = splitOperands(strings.TrimSpace(fields[1]))
+		}
+		return st, nil
+	}
+
+	// Mnemonic.
+	fields := strings.SplitN(s, " ", 2)
+	mn := strings.ToLower(fields[0])
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+
+	byteOp := false
+	if strings.HasSuffix(mn, ".b") {
+		byteOp = true
+		mn = mn[:len(mn)-2]
+	} else if strings.HasSuffix(mn, ".w") {
+		mn = mn[:len(mn)-2]
+	}
+
+	if op, ok := jumpMnemonics[mn]; ok {
+		if byteOp {
+			return nil, fmt.Errorf("jump %q has no byte form", mn)
+		}
+		e, err := parseExpr(rest)
+		if err != nil {
+			return nil, fmt.Errorf("jump target %q: %v", rest, err)
+		}
+		st.kind = stmtJump
+		st.op = op
+		st.jumpTarget = e
+		return st, nil
+	}
+
+	if op, ok := fmt1Mnemonics[mn]; ok {
+		ops := splitOperands(rest)
+		if len(ops) != 2 {
+			return nil, fmt.Errorf("%s needs 2 operands, got %d", mn, len(ops))
+		}
+		src, err := parseOperand(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		dst, err := parseOperand(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		st.kind = stmtInstr
+		st.op = op
+		st.byteOp = byteOp
+		st.src = src
+		st.dst = dst
+		return st, nil
+	}
+
+	if op, ok := fmt2Mnemonics[mn]; ok {
+		ops := splitOperands(rest)
+		if len(ops) != 1 {
+			return nil, fmt.Errorf("%s needs 1 operand, got %d", mn, len(ops))
+		}
+		src, err := parseOperand(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		st.kind = stmtInstr
+		st.op = op
+		st.byteOp = byteOp
+		st.src = src
+		return st, nil
+	}
+
+	if mn == "reti" {
+		st.kind = stmtInstr
+		st.op = isa.RETI
+		return st, nil
+	}
+
+	// Emulated mnemonics expand to real instructions.
+	if est, ok, err := expandEmulated(mn, byteOp, rest); ok {
+		if err != nil {
+			return nil, err
+		}
+		est.line = st.line
+		est.text = st.text
+		est.label = st.label
+		return est, nil
+	}
+
+	return nil, fmt.Errorf("unknown mnemonic %q", mn)
+}
+
+func isIdent(s string) bool {
+	if s == "" || !isSymStart(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isSymChar(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// expandEmulated maps TI emulated mnemonics onto core instructions.
+func expandEmulated(mn string, byteOp bool, rest string) (*statement, bool, error) {
+	mk := func(op isa.Opcode, src, dst *parsedOperand) (*statement, bool, error) {
+		return &statement{kind: stmtInstr, op: op, byteOp: byteOp, src: src, dst: dst}, true, nil
+	}
+	immOp := func(v int64) *parsedOperand {
+		return &parsedOperand{kind: opndImm, e: numExpr(v)}
+	}
+	spInc := &parsedOperand{kind: opndIndirectInc, reg: isa.SP}
+	pcReg := &parsedOperand{kind: opndReg, reg: isa.PC}
+	srReg := &parsedOperand{kind: opndReg, reg: isa.SR}
+
+	oneOperand := func() (*parsedOperand, error) {
+		ops := splitOperands(rest)
+		if len(ops) != 1 {
+			return nil, fmt.Errorf("%s needs 1 operand", mn)
+		}
+		return parseOperand(ops[0])
+	}
+
+	switch mn {
+	case "ret":
+		return mk(isa.MOV, spInc, pcReg)
+	case "pop":
+		dst, err := oneOperand()
+		if err != nil {
+			return nil, true, err
+		}
+		return mk(isa.MOV, spInc, dst)
+	case "br":
+		src, err := oneOperand()
+		if err != nil {
+			return nil, true, err
+		}
+		return mk(isa.MOV, src, pcReg)
+	case "nop":
+		return mk(isa.MOV, immOp(0), &parsedOperand{kind: opndReg, reg: isa.CG})
+	case "clr":
+		dst, err := oneOperand()
+		if err != nil {
+			return nil, true, err
+		}
+		return mk(isa.MOV, immOp(0), dst)
+	case "clrc":
+		return mk(isa.BIC, immOp(int64(isa.FlagC)), srReg)
+	case "setc":
+		return mk(isa.BIS, immOp(int64(isa.FlagC)), srReg)
+	case "clrz":
+		return mk(isa.BIC, immOp(int64(isa.FlagZ)), srReg)
+	case "setz":
+		return mk(isa.BIS, immOp(int64(isa.FlagZ)), srReg)
+	case "clrn":
+		return mk(isa.BIC, immOp(int64(isa.FlagN)), srReg)
+	case "setn":
+		return mk(isa.BIS, immOp(int64(isa.FlagN)), srReg)
+	case "dint":
+		return mk(isa.BIC, immOp(int64(isa.FlagGIE)), srReg)
+	case "eint":
+		return mk(isa.BIS, immOp(int64(isa.FlagGIE)), srReg)
+	case "inc":
+		dst, err := oneOperand()
+		if err != nil {
+			return nil, true, err
+		}
+		return mk(isa.ADD, immOp(1), dst)
+	case "incd":
+		dst, err := oneOperand()
+		if err != nil {
+			return nil, true, err
+		}
+		return mk(isa.ADD, immOp(2), dst)
+	case "dec":
+		dst, err := oneOperand()
+		if err != nil {
+			return nil, true, err
+		}
+		return mk(isa.SUB, immOp(1), dst)
+	case "decd":
+		dst, err := oneOperand()
+		if err != nil {
+			return nil, true, err
+		}
+		return mk(isa.SUB, immOp(2), dst)
+	case "tst":
+		dst, err := oneOperand()
+		if err != nil {
+			return nil, true, err
+		}
+		return mk(isa.CMP, immOp(0), dst)
+	case "inv":
+		dst, err := oneOperand()
+		if err != nil {
+			return nil, true, err
+		}
+		if byteOp {
+			return mk(isa.XOR, immOp(0xFF), dst)
+		}
+		return mk(isa.XOR, immOp(-1), dst)
+	case "adc":
+		dst, err := oneOperand()
+		if err != nil {
+			return nil, true, err
+		}
+		return mk(isa.ADDC, immOp(0), dst)
+	case "sbc":
+		dst, err := oneOperand()
+		if err != nil {
+			return nil, true, err
+		}
+		return mk(isa.SUBC, immOp(0), dst)
+	case "dadc":
+		dst, err := oneOperand()
+		if err != nil {
+			return nil, true, err
+		}
+		return mk(isa.DADD, immOp(0), dst)
+	case "rla":
+		dst, err := oneOperand()
+		if err != nil {
+			return nil, true, err
+		}
+		src := *dst
+		return mk(isa.ADD, &src, dst)
+	case "rlc":
+		dst, err := oneOperand()
+		if err != nil {
+			return nil, true, err
+		}
+		src := *dst
+		return mk(isa.ADDC, &src, dst)
+	}
+	return nil, false, nil
+}

@@ -1,0 +1,109 @@
+package attacks
+
+import (
+	"strings"
+	"testing"
+
+	"eilid/internal/core"
+)
+
+func pipeline(t *testing.T) *core.Pipeline {
+	t.Helper()
+	p, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAllScenariosDefended(t *testing.T) {
+	p := pipeline(t)
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			r, err := Run(p, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Baseline.Compromised {
+				t.Errorf("baseline NOT compromised (halted=%v exit=0x%02x): the threat must be demonstrable",
+					r.Baseline.Halted, r.Baseline.ExitCode)
+			}
+			if r.Protected.Compromised {
+				t.Error("attacker code executed on the EILID device")
+			}
+			if r.Protected.Resets == 0 {
+				t.Error("EILID device did not reset")
+			}
+			if !strings.Contains(r.Protected.Reason, sc.WantReason) {
+				t.Errorf("reset reason %q, want %q", r.Protected.Reason, sc.WantReason)
+			}
+			if !r.Defended() {
+				t.Errorf("scenario not fully defended: %+v", r)
+			}
+		})
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	p := pipeline(t)
+	results, err := RunAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Scenarios()) {
+		t.Fatalf("RunAll returned %d results", len(results))
+	}
+	props := map[string]bool{}
+	for _, r := range results {
+		props[r.Scenario.Property] = true
+	}
+	// The suite must exercise all three paper properties plus the
+	// CASU-layer rules.
+	for _, want := range []string{"P1", "P2", "P3", "W^X", "SecureData"} {
+		if !props[want] {
+			t.Errorf("no scenario covers property %s", want)
+		}
+	}
+}
+
+func TestScenariosHaveMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, sc := range Scenarios() {
+		if sc.Name == "" || sc.Description == "" || sc.Property == "" || sc.WantReason == "" {
+			t.Errorf("scenario %+v missing metadata", sc.Name)
+		}
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if sc.Payload == nil && sc.PokeAt == "" && !sc.Resident {
+			t.Errorf("%s: no adversary action defined", sc.Name)
+		}
+	}
+}
+
+func TestShellcodeIsValid(t *testing.T) {
+	sc := shellcode()
+	if len(sc) < 4 || len(sc)%2 != 0 {
+		t.Fatalf("shellcode = % x", sc)
+	}
+}
+
+func TestBenignPayloadIsHarmless(t *testing.T) {
+	// The overflow victim with an in-bounds message behaves normally on
+	// BOTH devices: EILID adds no false positives.
+	p := pipeline(t)
+	sc := stackSmash()
+	sc.Payload = func(map[string]uint16) []byte { return []byte{3, 'o', 'k', '!'} }
+	r, err := Run(p, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Baseline.Halted || r.Baseline.ExitCode != 0 {
+		t.Errorf("baseline benign run: %+v", r.Baseline)
+	}
+	if !r.Protected.Halted || r.Protected.ExitCode != 0 || r.Protected.Resets != 0 {
+		t.Errorf("protected benign run: %+v", r.Protected)
+	}
+}

@@ -1,0 +1,326 @@
+package attacks
+
+import (
+	"eilid/internal/core"
+	"eilid/internal/isa"
+)
+
+// victim firmware shared by the P1 scenarios: a message receiver with a
+// classic unchecked-length stack-buffer overflow.
+const overflowVictim = `
+.equ USTAT,  0x0074
+.equ URX,    0x0072
+.equ SIMCTL, 0x00FC
+
+.org 0xE000
+reset:
+    mov #0x09F0, sp     ; leave headroom above the stack for the caller frame
+main:
+    call #recv_msg
+    mov #0, &SIMCTL     ; normal completion
+stop:
+    jmp stop
+
+; reads a length byte, then that many bytes into a FOUR byte stack
+; buffer: the attacker-controlled length walks over the saved return
+; address.
+recv_msg:
+    sub #4, sp
+    mov sp, r14
+    call #read_char
+    mov r12, r11
+rm_copy:
+    tst r11
+    jz rm_done
+    call #read_char
+    mov.b r12, 0(r14)
+    inc r14
+    dec r11
+    jmp rm_copy
+rm_done:
+    add #4, sp
+    ret
+
+read_char:
+rc_wait:
+    bit #1, &USTAT
+    jz rc_wait
+    mov &URX, r12
+    ret
+
+; a useful gadget for chaining (sets a flag, returns into the next word)
+gadget1:
+    mov #0x1111, r14
+    ret
+
+; the attacker's destination: signal compromise and stop
+evil:
+    mov #0x0BAD, r15
+    mov #0x66, &SIMCTL
+evspin:
+    jmp evspin
+
+.org 0xFFFE
+.word reset
+`
+
+// stackSmash is the canonical P1 attack: overwrite the saved return
+// address through the overflow and divert the return to `evil`.
+func stackSmash() Scenario {
+	return Scenario{
+		Name:     "stack-smash",
+		Property: "P1",
+		Description: "A length-unchecked receive loop overflows a 4-byte stack buffer; " +
+			"bytes 4..5 of the payload replace the saved return address with the " +
+			"address of attacker-chosen code.",
+		Source: overflowVictim,
+		Payload: func(syms map[string]uint16) []byte {
+			evil := syms["evil"]
+			return []byte{6, 'A', 'B', 'C', 'D', byte(evil), byte(evil >> 8)}
+		},
+		WantReason: "cfi-check-failed",
+	}
+}
+
+// ropChain extends stackSmash with a two-gadget chain: the corrupted
+// return address enters gadget1, whose own ret consumes the next word of
+// the payload and lands in evil.
+func ropChain() Scenario {
+	return Scenario{
+		Name:     "rop-chain",
+		Property: "P1",
+		Description: "The overflow plants a return-oriented chain: saved RA -> gadget1, " +
+			"whose terminating ret pops the next attacker word -> evil.",
+		Source: overflowVictim,
+		Payload: func(syms map[string]uint16) []byte {
+			g1, evil := syms["gadget1"], syms["evil"]
+			return []byte{
+				8, 'A', 'B', 'C', 'D',
+				byte(g1), byte(g1 >> 8),
+				byte(evil), byte(evil >> 8),
+			}
+		},
+		WantReason: "cfi-check-failed",
+	}
+}
+
+// isrVictim runs a periodic timer interrupt; the adversary corrupts the
+// interrupt context saved on the main stack while the ISR body runs
+// (the paper's P2 threat: "a memory vulnerability in an ISR allows
+// modifications of the main stack where the context is kept").
+const isrVictim = `
+.equ SIMCTL, 0x00FC
+.equ TACTL,  0x0160
+.equ TACCR0, 0x0172
+
+.org 0xE000
+reset:
+    mov #0x0A00, sp
+main:
+    clr r10
+    mov #500, &TACCR0
+    mov #5, &TACTL
+    eint
+wait:
+    cmp #6, r10
+    jlo wait
+    dint
+    mov #0, &SIMCTL
+stop:
+    jmp stop
+
+TICK_ISR:
+isr_body:
+    inc r10
+    reti
+
+evil:
+    mov #0x0BAD, r15
+    mov #0x66, &SIMCTL
+evspin:
+    jmp evspin
+
+.org 0xFFF0
+.word TICK_ISR
+.org 0xFFFE
+.word reset
+`
+
+// isrTamper is the P2 attack.
+func isrTamper() Scenario {
+	return Scenario{
+		Name:     "isr-context-tamper",
+		Property: "P2",
+		Description: "While the timer ISR runs, the adversary overwrites the interrupted " +
+			"return address that the hardware pushed on the main stack, so reti " +
+			"resumes at attacker code instead of the interrupted instruction.",
+		Source: isrVictim,
+		PokeAt: "isr_body",
+		Poke: func(m *core.Machine, syms map[string]uint16) {
+			// Stack at isr_body: the saved context sits above the EILID
+			// prologue's three register saves on the protected build, and
+			// directly at the stack top on the baseline.
+			raSlot := m.CPU.SP() + 2
+			if m.Monitor != nil {
+				raSlot = m.CPU.SP() + 8
+			}
+			m.Space.StoreWord(raSlot, syms["evil"])
+		},
+		WantReason: "cfi-check-failed",
+	}
+}
+
+// fnptrVictim dispatches work through a function pointer kept in RAM.
+const fnptrVictim = `
+.equ SIMCTL,  0x00FC
+.equ P1OUT,   0x0021
+.equ HANDLER, 0x0400
+
+.org 0xE000
+reset:
+    mov #0x0A00, sp
+main:
+    mov #blink, &HANDLER
+    mov #4, r10
+work_iter:
+    mov &HANDLER, r13
+    call r13
+    dec r10
+    jnz work_iter
+    mov #0, &SIMCTL
+stop:
+    jmp stop
+
+blink:
+    xor.b #1, &P1OUT
+    ret
+
+evil:
+    mov #0x0BAD, r15
+    mov #0x66, &SIMCTL
+evspin:
+    jmp evspin
+
+.org 0xFFFE
+.word reset
+`
+
+// fnptrHijack is the P3 attack.
+func fnptrHijack() Scenario {
+	return Scenario{
+		Name:     "fnptr-hijack",
+		Property: "P3",
+		Description: "A heap/static function pointer is overwritten with the address of " +
+			"attacker-chosen code; the next indirect call dispatches there.",
+		Source: fnptrVictim,
+		PokeAt: "work_iter",
+		Poke: func(m *core.Machine, syms map[string]uint16) {
+			m.Space.StoreWord(0x0400, syms["evil"])
+		},
+		WantReason: "cfi-check-failed",
+	}
+}
+
+// jumpVictim dispatches through a RAM pointer with an indirect *jump* —
+// the construct EILID deliberately leaves to the CASU W⊕X layer.
+const jumpVictim = `
+.equ SIMCTL,  0x00FC
+.equ HANDLER, 0x0400
+
+.org 0xE000
+reset:
+    mov #0x0A00, sp
+main:
+    mov #normal, &HANDLER
+dispatch:
+    mov &HANDLER, r13
+    br r13
+normal:
+    mov #0, &SIMCTL
+stop:
+    jmp stop
+
+.org 0xFFFE
+.word reset
+`
+
+// shellcode assembles the attacker's injected payload: signal compromise
+// and spin.
+func shellcode() []byte {
+	words := isa.MustEncode(isa.Instruction{
+		Op: isa.MOV, Src: isa.Imm(CompromiseCode), Dst: isa.Abs(core.SimCtlAddr),
+	})
+	words = append(words, isa.MustEncode(isa.Instruction{Op: isa.JMP, JumpOffset: -1})...)
+	out := make([]byte, 0, 2*len(words))
+	for _, w := range words {
+		out = append(out, byte(w), byte(w>>8))
+	}
+	return out
+}
+
+// codeInjection is the classic code-injection attack that CASU's W⊕X
+// rule exists for.
+func codeInjection() Scenario {
+	return Scenario{
+		Name:     "code-injection",
+		Property: "W^X",
+		Description: "The adversary writes shellcode into data memory and redirects an " +
+			"indirect jump to it; execution from RAM must be impossible on a " +
+			"CASU/EILID device.",
+		Source: jumpVictim,
+		PokeAt: "dispatch",
+		Poke: func(m *core.Machine, syms map[string]uint16) {
+			sc := shellcode()
+			for i, b := range sc {
+				m.Space.StoreByte(0x0500+uint16(i), b)
+			}
+			m.Space.StoreWord(0x0400, 0x0500)
+		},
+		WantReason: "exec-from-nonexec",
+	}
+}
+
+// shadowVictim models an attacker who has found an arbitrary-write
+// primitive and aims it at the shadow stack itself.
+const shadowVictim = `
+.equ SIMCTL, 0x00FC
+
+.org 0xE000
+reset:
+    mov #0x0A00, sp
+main:
+    mov #0xDEAD, &0x0A00  ; arbitrary write aimed at the shadow stack
+    mov #0x66, &SIMCTL    ; attacker proceeds unhindered
+stop:
+    jmp stop
+
+.org 0xFFFE
+.word reset
+`
+
+// shadowTamper checks the EILID-hardware exclusivity of the secure data
+// region.
+func shadowTamper() Scenario {
+	return Scenario{
+		Name:     "shadow-stack-tamper",
+		Property: "SecureData",
+		Description: "An arbitrary-write primitive targets the shadow stack to forge a " +
+			"stored return address; the secure-DMEM exclusivity rule must reset " +
+			"the device on the first touch.",
+		Source:     shadowVictim,
+		Resident:   true,
+		WantReason: "secure-data-access",
+	}
+}
+
+// Scenarios returns the full attack suite.
+func Scenarios() []Scenario {
+	return []Scenario{
+		stackSmash(),
+		ropChain(),
+		isrTamper(),
+		fnptrHijack(),
+		codeInjection(),
+		shadowTamper(),
+	}
+}

@@ -1,0 +1,113 @@
+package casu
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"eilid/internal/mem"
+)
+
+// CASU's second pillar: the only sanctioned way to change program memory
+// is an authenticated update. The authority (the vendor's backend) signs
+// an image with a device-shared key; the device-side verifier checks the
+// MAC and an anti-rollback version before programming flash. Updates are
+// applied with the device halted (as on the real system, which reboots
+// through its update routine), so the Monitor never needs a "writes
+// allowed" run-time state.
+
+// ErrBadMAC is returned when the package authenticator does not verify.
+var ErrBadMAC = errors.New("casu: update authentication failed")
+
+// ErrRollback is returned when the package version does not increase.
+var ErrRollback = errors.New("casu: update version rollback rejected")
+
+// UpdatePackage is a signed firmware image.
+type UpdatePackage struct {
+	Base    uint16 // load address (must be inside PMEM)
+	Version uint32 // monotonically increasing
+	Data    []byte
+	MAC     [sha256.Size]byte
+}
+
+// computeMAC binds base, version and data.
+func computeMAC(key []byte, base uint16, version uint32, data []byte) [sha256.Size]byte {
+	h := hmac.New(sha256.New, key)
+	var hdr [6]byte
+	binary.LittleEndian.PutUint16(hdr[0:], base)
+	binary.LittleEndian.PutUint32(hdr[2:], version)
+	h.Write(hdr[:])
+	h.Write(data)
+	var mac [sha256.Size]byte
+	copy(mac[:], h.Sum(nil))
+	return mac
+}
+
+// Authority signs updates (the verifier/vendor side).
+type Authority struct {
+	key []byte
+}
+
+// NewAuthority creates an authority with the device-shared key.
+func NewAuthority(key []byte) *Authority {
+	return &Authority{key: append([]byte(nil), key...)}
+}
+
+// Sign produces an authenticated update package.
+func (a *Authority) Sign(base uint16, version uint32, data []byte) UpdatePackage {
+	return UpdatePackage{
+		Base:    base,
+		Version: version,
+		Data:    append([]byte(nil), data...),
+		MAC:     computeMAC(a.key, base, version, data),
+	}
+}
+
+// Updater is the device-side verifier state (held in secure storage).
+type Updater struct {
+	key     []byte
+	layout  mem.Layout
+	version uint32
+
+	// Applied counts successful updates; Rejected counts failures.
+	Applied, Rejected int
+}
+
+// NewUpdater creates the device-side verifier.
+func NewUpdater(key []byte, layout mem.Layout) *Updater {
+	return &Updater{key: append([]byte(nil), key...), layout: layout}
+}
+
+// Version returns the currently installed firmware version.
+func (u *Updater) Version() uint32 { return u.version }
+
+// Apply verifies and programs the update into the target space. The whole
+// image must fall inside user PMEM (the secure ROM and IVT are updated
+// only at manufacture); the IVT reset vector may be included via a
+// separate vector field to keep the paper's "authenticated updates only"
+// property for the whole boot path.
+func (u *Updater) Apply(space *mem.Space, pkg UpdatePackage) error {
+	want := computeMAC(u.key, pkg.Base, pkg.Version, pkg.Data)
+	if !hmac.Equal(want[:], pkg.MAC[:]) {
+		u.Rejected++
+		return ErrBadMAC
+	}
+	if pkg.Version <= u.version {
+		u.Rejected++
+		return fmt.Errorf("%w: have %d, offered %d", ErrRollback, u.version, pkg.Version)
+	}
+	end := uint32(pkg.Base) + uint32(len(pkg.Data)) - 1
+	if len(pkg.Data) == 0 || pkg.Base < u.layout.PMEMStart || end > uint32(u.layout.PMEMEnd) {
+		u.Rejected++
+		return fmt.Errorf("casu: update range 0x%04x..0x%04x outside user PMEM", pkg.Base, end)
+	}
+	if err := space.LoadImage(pkg.Base, pkg.Data); err != nil {
+		u.Rejected++
+		return err
+	}
+	u.version = pkg.Version
+	u.Applied++
+	return nil
+}

@@ -1,0 +1,139 @@
+// Package core implements EILID itself — the paper's contribution — on
+// top of the substrates in this repository:
+//
+//   - EILIDinst (instrument.go, pipeline.go): the compile-time assembly
+//     instrumenter and the three-iteration build of paper Figure 2.
+//   - EILIDsw (eilidsw.go): the trusted shadow-stack software generated
+//     as MSP430 assembly and assembled into the secure ROM, with the
+//     entry/body/leave structure of paper Figure 9.
+//   - EILIDhw: the composition (machine.go) of the CASU monitor
+//     (internal/casu) with the CPU, memory and peripherals, including
+//     the reset-on-violation behaviour.
+//
+// The package's public surface is what a user of the (hypothetical) open
+// source release would touch: configure the device (Config), build the
+// trusted ROM (BuildSecureROM), instrument firmware (Pipeline.Build),
+// and run it on a protected machine (NewMachine).
+package core
+
+import (
+	"fmt"
+
+	"eilid/internal/mem"
+	"eilid/internal/periph"
+)
+
+// EILIDsw selector values passed in r4 (paper Figure 9: "r4 determines
+// which S_EILID function is invoked").
+const (
+	SelInit     = 0
+	SelStoreRA  = 1
+	SelCheckRA  = 2
+	SelStoreRFI = 3
+	SelCheckRFI = 4
+	SelStoreInd = 5
+	SelCheckInd = 6
+)
+
+// Reserved registers (paper Table III).
+const (
+	RegSelector = 4 // r4: S_EILID function selector
+	RegIndex    = 5 // r5: shadow-stack index
+	RegArg0     = 6 // r6: first argument
+	RegArg1     = 7 // r7: second argument
+)
+
+// Config fixes the EILID memory plan and instrumentation conventions.
+type Config struct {
+	Layout mem.Layout
+
+	// ShadowBase is the bottom of the shadow stack in secure DMEM.
+	ShadowBase uint16
+	// MaxShadowEntries bounds the shadow stack (in 16-bit words). The
+	// paper's 256-byte secure DMEM stores up to 128 return addresses;
+	// we split the same region between the stack and the forward-edge
+	// function table.
+	MaxShadowEntries int
+	// TableCountAddr holds the function-entry-table length.
+	TableCountAddr uint16
+	// TableBase is the first function-entry slot.
+	TableBase uint16
+	// MaxFunctions bounds the forward-edge table.
+	MaxFunctions int
+
+	// ViolationAddr is the secure MMIO latch EILIDsw writes on a failed
+	// check; the CASU hardware resets the device on that write.
+	ViolationAddr uint16
+
+	// TrampolineOrg is where the instrumenter places the NS_EILID_*
+	// gateway stubs (top of user PMEM; applications must stay below it).
+	TrampolineOrg uint16
+
+	// MainLabel is the entry-function label at which the instrumenter
+	// installs EILID initialization and the function-entry-table loads
+	// (paper Figure 7).
+	MainLabel string
+
+	// ISRSuffix marks interrupt service routines: a code label ending in
+	// this suffix is treated as an ISR prologue (the paper discovers ISRs
+	// "by their reserved names").
+	ISRSuffix string
+}
+
+// DefaultConfig returns the memory plan used throughout the repository
+// (matching mem.DefaultLayout and the peripheral map).
+func DefaultConfig() Config {
+	l := mem.DefaultLayout()
+	return Config{
+		Layout:           l,
+		ShadowBase:       l.SecureDataStart,          // 0x0A00
+		MaxShadowEntries: 96,                         // 192 bytes
+		TableCountAddr:   l.SecureDataStart + 0x00C0, // 0x0AC0
+		TableBase:        l.SecureDataStart + 0x00C2, // 0x0AC2
+		MaxFunctions:     30,                         // 60 bytes: region ends 0x0AFE
+		ViolationAddr:    periph.ViolationAddr,
+		TrampolineOrg:    0xF700,
+		MainLabel:        "main",
+		ISRSuffix:        "_ISR",
+	}
+}
+
+// Validate checks internal consistency of the memory plan.
+func (c Config) Validate() error {
+	if err := c.Layout.Validate(); err != nil {
+		return err
+	}
+	ssEnd := uint32(c.ShadowBase) + 2*uint32(c.MaxShadowEntries) - 1
+	if c.ShadowBase < c.Layout.SecureDataStart || ssEnd >= uint32(c.TableCountAddr) {
+		return fmt.Errorf("core: shadow stack 0x%04x..0x%04x collides with table count 0x%04x",
+			c.ShadowBase, ssEnd, c.TableCountAddr)
+	}
+	tblEnd := uint32(c.TableBase) + 2*uint32(c.MaxFunctions) - 1
+	if tblEnd > uint32(c.Layout.SecureDataEnd) {
+		return fmt.Errorf("core: function table ends at 0x%04x, beyond secure DMEM end 0x%04x",
+			tblEnd, c.Layout.SecureDataEnd)
+	}
+	if c.Layout.RegionOf(c.TrampolineOrg) != mem.RegionPMEM {
+		return fmt.Errorf("core: trampoline origin 0x%04x not in user PMEM", c.TrampolineOrg)
+	}
+	if c.Layout.RegionOf(c.ViolationAddr) != mem.RegionPeriph {
+		return fmt.Errorf("core: violation latch 0x%04x not in peripheral space", c.ViolationAddr)
+	}
+	if c.MaxShadowEntries < 4 || c.MaxFunctions < 1 {
+		return fmt.Errorf("core: degenerate sizes (shadow %d, functions %d)",
+			c.MaxShadowEntries, c.MaxFunctions)
+	}
+	return nil
+}
+
+// Trampoline label names, in selector order. These are the NS_EILID_*
+// functions of paper Figures 3-8.
+var trampolineNames = [...]string{
+	SelInit:     "NS_EILID_init",
+	SelStoreRA:  "NS_EILID_store_ra",
+	SelCheckRA:  "NS_EILID_check_ra",
+	SelStoreRFI: "NS_EILID_store_rfi",
+	SelCheckRFI: "NS_EILID_check_rfi",
+	SelStoreInd: "NS_EILID_store_ind",
+	SelCheckInd: "NS_EILID_check_ind",
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"eilid/internal/casu"
+)
+
+// The conformance suite drives the assembled EILIDsw through the gateway
+// with randomly generated operation sequences and checks that it behaves
+// exactly like the ShadowStack reference model: same accept/reject
+// decision, and on accept, identical shadow-stack and table contents.
+
+type swOp struct {
+	sel  int
+	arg0 uint16
+	arg1 uint16
+}
+
+// applyModel runs one op on the model, returning an error when EILIDsw
+// would trip the violation latch.
+func applyModel(m *ShadowStack, op swOp) error {
+	switch op.sel {
+	case SelInit:
+		m.Init()
+		return nil
+	case SelStoreRA:
+		return m.StoreRA(op.arg0)
+	case SelCheckRA:
+		return m.CheckRA(op.arg0)
+	case SelStoreRFI:
+		return m.StoreRFI(op.arg0, op.arg1)
+	case SelCheckRFI:
+		return m.CheckRFI(op.arg0, op.arg1)
+	case SelStoreInd:
+		return m.StoreInd(op.arg0)
+	case SelCheckInd:
+		return m.CheckInd(op.arg0)
+	}
+	panic("bad selector")
+}
+
+var selToGateway = map[int]string{
+	SelInit:     "NS_EILID_init",
+	SelStoreRA:  "NS_EILID_store_ra",
+	SelCheckRA:  "NS_EILID_check_ra",
+	SelStoreRFI: "NS_EILID_store_rfi",
+	SelCheckRFI: "NS_EILID_check_rfi",
+	SelStoreInd: "NS_EILID_store_ind",
+	SelCheckInd: "NS_EILID_check_ind",
+}
+
+// driverSource builds a program that performs the ops then halts.
+func driverSource(ins *Instrumenter, ops []swOp) string {
+	var b strings.Builder
+	b.WriteString(".org 0xE000\nreset:\n    mov #0x0A00, sp\n")
+	b.WriteString("    call #NS_EILID_init\n")
+	for _, op := range ops {
+		fmt.Fprintf(&b, "    mov #0x%04x, r6\n", op.arg0)
+		if op.sel == SelStoreRFI || op.sel == SelCheckRFI {
+			fmt.Fprintf(&b, "    mov #0x%04x, r7\n", op.arg1)
+		}
+		fmt.Fprintf(&b, "    call #%s\n", selToGateway[op.sel])
+	}
+	b.WriteString("    mov #0, &0x00FC\nspin:\n    jmp spin\n")
+	b.WriteString(ins.GatewaySource())
+	b.WriteString(".org 0xFFFE\n.word reset\n")
+	return b.String()
+}
+
+// genOps builds a mostly-valid random sequence. Once the model reports an
+// error the sequence stops: the device resets there, so later ops never
+// execute.
+func genOps(r *rand.Rand, cfg Config, n int) (ops []swOp, failing bool) {
+	model := NewShadowStack(cfg)
+	model.Init()
+	// Mirror of stored values so checks can be made deliberately valid.
+	var stack []swOp
+	var table []uint16
+	for len(ops) < n {
+		var op swOp
+		switch r.Intn(7) {
+		case 0:
+			op = swOp{sel: SelStoreRA, arg0: uint16(r.Uint32())}
+		case 1:
+			// check_ra: 80% matching, 20% random.
+			if len(stack) > 0 && stack[len(stack)-1].sel == SelStoreRA && r.Intn(5) != 0 {
+				op = swOp{sel: SelCheckRA, arg0: stack[len(stack)-1].arg0}
+			} else {
+				op = swOp{sel: SelCheckRA, arg0: uint16(r.Uint32())}
+			}
+		case 2:
+			op = swOp{sel: SelStoreRFI, arg0: uint16(r.Uint32()), arg1: uint16(r.Uint32())}
+		case 3:
+			if len(stack) > 0 && stack[len(stack)-1].sel == SelStoreRFI && r.Intn(5) != 0 {
+				prev := stack[len(stack)-1]
+				op = swOp{sel: SelCheckRFI, arg0: prev.arg0, arg1: prev.arg1}
+			} else {
+				op = swOp{sel: SelCheckRFI, arg0: uint16(r.Uint32()), arg1: uint16(r.Uint32())}
+			}
+		case 4:
+			op = swOp{sel: SelStoreInd, arg0: uint16(r.Uint32())}
+		case 5:
+			if len(table) > 0 && r.Intn(5) != 0 {
+				op = swOp{sel: SelCheckInd, arg0: table[r.Intn(len(table))]}
+			} else {
+				op = swOp{sel: SelCheckInd, arg0: uint16(r.Uint32())}
+			}
+		case 6:
+			if r.Intn(10) == 0 { // occasional re-init
+				op = swOp{sel: SelInit}
+			} else {
+				op = swOp{sel: SelStoreRA, arg0: uint16(r.Uint32())}
+			}
+		}
+		err := applyModel(model, op)
+		ops = append(ops, op)
+		if err != nil {
+			return ops, true
+		}
+		// Maintain mirrors for valid-op generation.
+		switch op.sel {
+		case SelInit:
+			stack, table = nil, nil
+		case SelStoreRA, SelStoreRFI:
+			stack = append(stack, op)
+		case SelCheckRA, SelCheckRFI:
+			stack = stack[:len(stack)-1]
+		case SelStoreInd:
+			table = append(table, op.arg0)
+		}
+	}
+	return ops, false
+}
+
+func TestEILIDswConformanceProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	p := mustPipeline(t)
+	r := rand.New(rand.NewSource(99))
+
+	for trial := 0; trial < 60; trial++ {
+		ops, shouldFail := genOps(r, cfg, 2+r.Intn(25))
+
+		// Model reference run.
+		model := NewShadowStack(cfg)
+		model.Init()
+		var modelErr error
+		for _, op := range ops {
+			if modelErr = applyModel(model, op); modelErr != nil {
+				break
+			}
+		}
+		if (modelErr != nil) != shouldFail {
+			t.Fatalf("trial %d: generator/model disagreement", trial)
+		}
+
+		// Hardware run.
+		src := driverSource(p.ins, ops)
+		prog, err := p.BuildOriginal("driver.s", src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		m, err := NewMachine(MachineOptions{Config: cfg, ROM: p.ROM(), Protected: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.LoadFirmware(prog.Image); err != nil {
+			t.Fatal(err)
+		}
+		m.Boot()
+		res, err := m.RunUntilReset(5_000_000)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		if shouldFail {
+			if res.Resets == 0 {
+				t.Fatalf("trial %d: model rejects (%v) but EILIDsw accepted\nops: %+v",
+					trial, modelErr, ops)
+			}
+			if res.LastReason.Kind != casu.ViolationCFIFail {
+				t.Fatalf("trial %d: reset reason %v", trial, res.LastReason.Kind)
+			}
+			continue
+		}
+		if res.Resets != 0 {
+			t.Fatalf("trial %d: model accepts but EILIDsw reset (%v)\nops: %+v",
+				trial, m.ResetReasons, ops)
+		}
+		if !res.Halted {
+			t.Fatalf("trial %d: driver did not halt", trial)
+		}
+		// Compare final state.
+		gotStack := m.ShadowEntries(cfg)
+		wantStack := model.Entries()
+		if len(gotStack) != len(wantStack) {
+			t.Fatalf("trial %d: shadow depth %d, model %d", trial, len(gotStack), len(wantStack))
+		}
+		for i := range wantStack {
+			if gotStack[i] != wantStack[i] {
+				t.Fatalf("trial %d: shadow[%d] = 0x%04x, model 0x%04x",
+					trial, i, gotStack[i], wantStack[i])
+			}
+		}
+		gotTbl := m.FunctionTable(cfg)
+		wantTbl := model.Table()
+		if len(gotTbl) != len(wantTbl) {
+			t.Fatalf("trial %d: table size %d, model %d", trial, len(gotTbl), len(wantTbl))
+		}
+		for i := range wantTbl {
+			if gotTbl[i] != wantTbl[i] {
+				t.Fatalf("trial %d: table[%d] = 0x%04x, model 0x%04x",
+					trial, i, gotTbl[i], wantTbl[i])
+			}
+		}
+	}
+}
+
+func TestEILIDswBoundaryConditions(t *testing.T) {
+	cfg := DefaultConfig()
+	p := mustPipeline(t)
+
+	runOps := func(ops []swOp) (*Machine, RunResult) {
+		t.Helper()
+		src := driverSource(p.ins, ops)
+		prog, err := p.BuildOriginal("driver.s", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewMachine(MachineOptions{Config: cfg, ROM: p.ROM(), Protected: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.LoadFirmware(prog.Image); err != nil {
+			t.Fatal(err)
+		}
+		m.Boot()
+		res, err := m.RunUntilReset(20_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, res
+	}
+
+	// Fill the shadow stack to exactly its capacity: accepted.
+	var ops []swOp
+	for i := 0; i < cfg.MaxShadowEntries; i++ {
+		ops = append(ops, swOp{sel: SelStoreRA, arg0: uint16(0xE000 + 2*i)})
+	}
+	m, res := runOps(ops)
+	if res.Resets != 0 || !res.Halted {
+		t.Fatalf("filling to capacity failed: %+v (%v)", res, m.ResetReasons)
+	}
+	if got := len(m.ShadowEntries(cfg)); got != cfg.MaxShadowEntries {
+		t.Errorf("depth = %d, want %d", got, cfg.MaxShadowEntries)
+	}
+
+	// One more store overflows.
+	ops = append(ops, swOp{sel: SelStoreRA, arg0: 0xBEEF})
+	_, res = runOps(ops)
+	if res.Resets == 0 {
+		t.Error("store beyond capacity accepted")
+	}
+
+	// RFI store needs two slots: at capacity-1 it must reject.
+	ops = ops[:cfg.MaxShadowEntries-1]
+	ops = append(ops, swOp{sel: SelStoreRFI, arg0: 1, arg1: 2})
+	_, res = runOps(ops)
+	if res.Resets == 0 {
+		t.Error("store_rfi with one free slot accepted")
+	}
+
+	// Table fills to capacity, then rejects.
+	ops = nil
+	for i := 0; i < cfg.MaxFunctions; i++ {
+		ops = append(ops, swOp{sel: SelStoreInd, arg0: uint16(0xE100 + 2*i)})
+	}
+	m, res = runOps(ops)
+	if res.Resets != 0 || !res.Halted {
+		t.Fatalf("filling table failed: %+v", res)
+	}
+	if got := len(m.FunctionTable(cfg)); got != cfg.MaxFunctions {
+		t.Errorf("table = %d, want %d", got, cfg.MaxFunctions)
+	}
+	ops = append(ops, swOp{sel: SelStoreInd, arg0: 0xBEEF})
+	_, res = runOps(ops)
+	if res.Resets == 0 {
+		t.Error("table overflow accepted")
+	}
+
+	// check_ind scans the whole table (last entry reachable).
+	ops = ops[:cfg.MaxFunctions]
+	ops = append(ops, swOp{sel: SelCheckInd, arg0: uint16(0xE100 + 2*(cfg.MaxFunctions-1))})
+	_, res = runOps(ops)
+	if res.Resets != 0 || !res.Halted {
+		t.Error("last table entry not found by check_ind")
+	}
+
+	// Unknown selector resets. Build a driver that passes r4=9 directly.
+	src := `
+.org 0xE000
+reset:
+    mov #0x0A00, sp
+    mov #9, r4
+    br #0x` + fmt.Sprintf("%04x", p.ROM().Entry) + `
+spin:
+    jmp spin
+.org 0xFFFE
+.word reset
+`
+	prog, err := p.BuildOriginal("badsel.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewMachine(MachineOptions{Config: cfg, ROM: p.ROM(), Protected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.LoadFirmware(prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	m2.Boot()
+	res2, err := m2.RunUntilReset(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Resets == 0 || res2.LastReason.Kind != casu.ViolationCFIFail {
+		t.Errorf("unknown selector: %+v", res2)
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"eilid/internal/asm"
+)
+
+// SecureROM is the assembled EILIDsw image plus the two addresses the
+// hardware monitor is wired to: the sole legal entry point and the sole
+// legal exit point.
+type SecureROM struct {
+	Program *asm.Program
+	// Entry is S_EILID_entry: the only address at which non-secure code
+	// may enter the ROM.
+	Entry uint16
+	// Exit is the address of the ret in the leave section: the only
+	// address from which control may return to non-secure code.
+	Exit uint16
+}
+
+// BuildSecureROM assembles EILIDsw for the given configuration. The
+// layout follows paper Figure 9: an entry section that dispatches on r4,
+// a body hosting the S_EILID_* functions, and a leave section holding the
+// single exit ret. All state lives in secure DMEM (shadow stack, function
+// table) and the reserved registers (r5 = stack index).
+func BuildSecureROM(cfg Config) (*SecureROM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	src := GenerateEILIDswSource(cfg)
+	p, err := asm.Assemble("eilidsw.s", src)
+	if err != nil {
+		return nil, fmt.Errorf("core: assembling EILIDsw: %w", err)
+	}
+	entry, ok := p.Symbols["S_EILID_entry"]
+	if !ok {
+		return nil, fmt.Errorf("core: EILIDsw missing entry symbol")
+	}
+	exit, ok := p.Symbols["S_EILID_leave"]
+	if !ok {
+		return nil, fmt.Errorf("core: EILIDsw missing leave symbol")
+	}
+	// The image must fit the secure ROM region.
+	for _, ch := range p.Image.Chunks() {
+		end := uint32(ch.Addr) + uint32(len(ch.Data)) - 1
+		if ch.Addr < cfg.Layout.SecureROMStart || end > uint32(cfg.Layout.SecureROMEnd) {
+			return nil, fmt.Errorf("core: EILIDsw chunk 0x%04x..0x%04x outside secure ROM", ch.Addr, end)
+		}
+	}
+	return &SecureROM{Program: p, Entry: entry, Exit: exit}, nil
+}
+
+// GenerateEILIDswSource emits the EILIDsw assembly. It is exported so the
+// eilid-bench tool can show the trusted code it measures and so tests can
+// assert structural properties (instruction budget, single exit, ...).
+func GenerateEILIDswSource(cfg Config) string {
+	var b strings.Builder
+	p := func(format string, args ...interface{}) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	p("; EILIDsw — trusted shadow-stack software (generated)")
+	p("; entry/body/leave structure per EILID paper Figure 9.")
+	p("; r4=selector r5=shadow index r6,r7=arguments (paper Table III)")
+	p(".equ SS_BASE,   0x%04x", cfg.ShadowBase)
+	p(".equ SS_MAX,    %d", cfg.MaxShadowEntries)
+	p(".equ TBL_CNT,   0x%04x", cfg.TableCountAddr)
+	p(".equ TBL_BASE,  0x%04x", cfg.TableBase)
+	p(".equ TBL_MAX,   %d", cfg.MaxFunctions)
+	p(".equ VIOLATION, 0x%04x", cfg.ViolationAddr)
+	p(".org 0x%04x", cfg.Layout.SecureROMStart)
+	p("")
+	p("; ---- entry section: the only legal secure entry point ----")
+	p("S_EILID_entry:")
+	for sel, label := range []string{
+		SelInit:     "S_EILID_init",
+		SelStoreRA:  "S_EILID_store_ra",
+		SelCheckRA:  "S_EILID_check_ra",
+		SelStoreRFI: "S_EILID_store_rfi",
+		SelCheckRFI: "S_EILID_check_rfi",
+		SelStoreInd: "S_EILID_store_ind",
+		SelCheckInd: "S_EILID_check_ind",
+	} {
+		p("    cmp #%d, r4", sel)
+		p("    jeq %s", label)
+	}
+	p("    ; unknown selector: treat as an attack on the gateway")
+	p("S_EILID_viol:")
+	p("    mov #1, &VIOLATION   ; EILIDhw resets the device on this store")
+	p("    jmp S_EILID_viol     ; unreachable (reset fires first)")
+	p("")
+	p("; ---- body section ----")
+	p("S_EILID_init:")
+	p("    clr r5               ; shadow stack index := 0")
+	p("    clr &TBL_CNT         ; function table := empty")
+	p("    jmp S_EILID_leave")
+	p("")
+	p("; store return address (P1): r6 = resolved return address")
+	p("S_EILID_store_ra:")
+	p("    cmp #SS_MAX, r5")
+	p("    jhs S_EILID_viol     ; shadow stack overflow")
+	p("    mov r5, r7")
+	p("    add r7, r7           ; r7 = 2*index")
+	p("    add #SS_BASE, r7")
+	p("    mov r6, 0(r7)")
+	p("    inc r5")
+	p("    jmp S_EILID_leave")
+	p("")
+	p("; check return address (P1): r6 = return address about to be used")
+	p("S_EILID_check_ra:")
+	p("    tst r5")
+	p("    jz S_EILID_viol      ; shadow stack underflow")
+	p("    dec r5")
+	p("    mov r5, r7")
+	p("    add r7, r7")
+	p("    add #SS_BASE, r7")
+	p("    cmp r6, 0(r7)")
+	p("    jne S_EILID_viol     ; backward-edge mismatch: reset")
+	p("    jmp S_EILID_leave")
+	p("")
+	p("; store interrupt context (P2): r6 = return address, r7 = status reg")
+	p("S_EILID_store_rfi:")
+	p("    cmp #SS_MAX-1, r5")
+	p("    jhs S_EILID_viol")
+	p("    push r8")
+	p("    mov r5, r8")
+	p("    add r8, r8")
+	p("    add #SS_BASE, r8")
+	p("    mov r6, 0(r8)")
+	p("    mov r7, 2(r8)")
+	p("    incd r5")
+	p("    pop r8")
+	p("    jmp S_EILID_leave")
+	p("")
+	p("; check interrupt context (P2)")
+	p("S_EILID_check_rfi:")
+	p("    cmp #2, r5")
+	p("    jlo S_EILID_viol     ; fewer than 2 entries: underflow")
+	p("    push r8")
+	p("    mov r5, r8")
+	p("    add r8, r8")
+	p("    add #SS_BASE-4, r8   ; entry pair at index r5-2")
+	p("    cmp r6, 0(r8)")
+	p("    jne S_EILID_viol     ; return-address tampered in ISR")
+	p("    cmp r7, 2(r8)")
+	p("    jne S_EILID_viol     ; status register tampered in ISR")
+	p("    decd r5")
+	p("    pop r8")
+	p("    jmp S_EILID_leave")
+	p("")
+	p("; register a legal indirect-call target (P3): r6 = function address")
+	p("S_EILID_store_ind:")
+	p("    push r8")
+	p("    mov &TBL_CNT, r8")
+	p("    cmp #TBL_MAX, r8")
+	p("    jhs S_EILID_viol     ; table full")
+	p("    add r8, r8")
+	p("    add #TBL_BASE, r8")
+	p("    mov r6, 0(r8)")
+	p("    pop r8")
+	p("    inc &TBL_CNT")
+	p("    jmp S_EILID_leave")
+	p("")
+	p("; validate an indirect-call target (P3): r6 = target address")
+	p("S_EILID_check_ind:")
+	p("    push r8")
+	p("    push r9")
+	p("    mov &TBL_CNT, r8")
+	p("    mov #TBL_BASE, r9")
+	p("S_EILID_ci_loop:")
+	p("    tst r8")
+	p("    jz S_EILID_viol      ; exhausted table: illegal forward edge")
+	p("    cmp r6, 0(r9)")
+	p("    jeq S_EILID_ci_hit")
+	p("    incd r9")
+	p("    dec r8")
+	p("    jmp S_EILID_ci_loop")
+	p("S_EILID_ci_hit:")
+	p("    pop r9")
+	p("    pop r8")
+	p("    jmp S_EILID_leave")
+	p("")
+	p("; ---- leave section: the only legal secure exit point ----")
+	p("S_EILID_leave:")
+	p("    ret                  ; returns to the instrumented call site")
+	return b.String()
+}

@@ -1,0 +1,450 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"eilid/internal/asm"
+	"eilid/internal/isa"
+)
+
+// InstrumentStats summarizes what EILIDinst inserted.
+type InstrumentStats struct {
+	DirectCalls   int // call #f sites given store_ra instrumentation (P1)
+	Returns       int // ret sites given check_ra instrumentation (P1)
+	ISRPrologues  int // ISR entries given store_rfi instrumentation (P2)
+	ISREpilogues  int // reti sites given check_rfi instrumentation (P2)
+	IndirectCalls int // call rN sites given check_ind instrumentation (P3)
+	TableEntries  int // function addresses registered at main (P3)
+	SpilledRegs   []isa.Reg
+	InsertedLines int
+	// Warnings carries the §VII semi-automatic diagnostics: indirect
+	// jumps (outside EILID's protection, covered only by W⊕X) and direct
+	// recursion (unsupported: it exhausts the fixed-size shadow stack).
+	Warnings []string
+}
+
+// raPlaceholder is the return-address immediate used on the first
+// instrumentation iteration, before a listing of the instrumented build
+// exists. It is deliberately NOT constant-generator eligible so that the
+// instruction size (and therefore the final layout) is identical once the
+// real addresses are patched in.
+const raPlaceholder = 0xAAAA
+
+// Instrumenter rewrites application assembly per EILID's three security
+// properties. It works from the original source text plus the original
+// build's listing (for classification) and, from the second iteration on,
+// the previous instrumented build's listing (for numeric return-address
+// resolution) — the paper's Figure 2 dataflow.
+type Instrumenter struct {
+	cfg Config
+	rom *SecureROM
+}
+
+// NewInstrumenter creates an instrumenter bound to a secure ROM build
+// (the trampolines branch to its entry point).
+func NewInstrumenter(cfg Config, rom *SecureROM) *Instrumenter {
+	return &Instrumenter{cfg: cfg, rom: rom}
+}
+
+// classification of one original source line.
+type lineClass uint8
+
+const (
+	classPlain lineClass = iota
+	classDirectCall
+	classIndirectCall
+	classReturn
+	classReti
+	classMainLabel
+	classISRLabel
+)
+
+// analysis is the per-source information the instrumenter derives from
+// the original build.
+type analysis struct {
+	classes map[int]lineClass // original line -> class
+	instr   map[int]isa.Instruction
+	// functions to register in the forward-edge table, by label name, in
+	// address order.
+	functions []string
+	// spills is the subset of {r4,r6,r7} the application itself uses and
+	// that instrumentation blocks must therefore preserve.
+	spills []isa.Reg
+	// warnings are the §VII diagnostics raised during analysis.
+	warnings []string
+}
+
+// isRet matches the emulated return (mov @sp+, pc).
+func isRet(in isa.Instruction) bool {
+	return in.Op == isa.MOV && !in.Byte &&
+		in.Src.Mode == isa.ModeIndirectInc && in.Src.Reg == isa.SP &&
+		in.Dst == isa.RegOp(isa.PC)
+}
+
+// analyze classifies every line of the original program.
+func (ins *Instrumenter) analyze(orig *asm.Program) (*analysis, error) {
+	a := &analysis{classes: map[int]lineClass{}, instr: map[int]isa.Instruction{}}
+	lst := orig.Listing
+
+	// Code-label addresses for function discovery.
+	labelByAddr := map[uint16]string{}
+	for _, name := range lst.FunctionSymbols() {
+		labelByAddr[lst.Symbols[name]] = name
+	}
+
+	callTargets := map[string]bool{}
+	addressTaken := map[string]bool{}
+	usedReserved := map[isa.Reg]bool{}
+
+	noteReg := func(o isa.Operand) {
+		switch o.Mode {
+		case isa.ModeRegister, isa.ModeIndexed, isa.ModeIndirect, isa.ModeIndirectInc:
+			if o.Reg >= 4 && o.Reg <= 7 {
+				usedReserved[o.Reg] = true
+			}
+		}
+	}
+
+	for _, e := range lst.Entries {
+		if e.Label != "" {
+			switch {
+			case e.Label == ins.cfg.MainLabel:
+				if e.IsInstr {
+					return nil, fmt.Errorf("core: label %q must be on its own line for instrumentation", e.Label)
+				}
+				a.classes[e.Line] = classMainLabel
+			case strings.HasSuffix(e.Label, ins.cfg.ISRSuffix):
+				if e.IsInstr {
+					return nil, fmt.Errorf("core: ISR label %q must be on its own line", e.Label)
+				}
+				a.classes[e.Line] = classISRLabel
+			}
+		}
+		if !e.IsInstr {
+			// Data words that hold a code address are address-taken
+			// functions (jump/dispatch tables). Interrupt vectors are
+			// excluded: they are consumed by hardware, never by indirect
+			// calls, so ISR/reset entries stay out of the table.
+			if e.Addr < ins.cfg.Layout.IVTStart {
+				for _, w := range e.Words {
+					if name, ok := labelByAddr[w]; ok {
+						addressTaken[name] = true
+					}
+				}
+			}
+			continue
+		}
+		in := e.Instr
+		noteReg(in.Src)
+		if in.Op.IsTwoOperand() {
+			noteReg(in.Dst)
+		}
+		switch {
+		case in.Op == isa.CALL && in.Src.Mode == isa.ModeImmediate:
+			a.classes[e.Line] = classDirectCall
+			a.instr[e.Line] = in
+			if name, ok := labelByAddr[in.Src.X]; ok {
+				callTargets[name] = true
+			}
+		case in.Op == isa.CALL:
+			// Register/indirect call: a forward edge to validate.
+			a.classes[e.Line] = classIndirectCall
+			a.instr[e.Line] = in
+		case isRet(in):
+			a.classes[e.Line] = classReturn
+			a.instr[e.Line] = in
+		case in.Op == isa.RETI:
+			a.classes[e.Line] = classReti
+			a.instr[e.Line] = in
+		}
+		// Any non-call immediate matching a code label address takes that
+		// function's address (mov #fn, r13 ...).
+		if in.Op != isa.CALL && in.Src.Mode == isa.ModeImmediate {
+			if name, ok := labelByAddr[in.Src.X]; ok {
+				addressTaken[name] = true
+			}
+		}
+	}
+
+	// Reserved-register policy: r5 is the shadow index and cannot be
+	// spilled around blocks (its value must persist across them).
+	for _, e := range lst.Entries {
+		if !e.IsInstr {
+			continue
+		}
+		check := func(o isa.Operand) bool {
+			switch o.Mode {
+			case isa.ModeRegister, isa.ModeIndexed, isa.ModeIndirect, isa.ModeIndirectInc:
+				return o.Reg == RegIndex
+			}
+			return false
+		}
+		if check(e.Instr.Src) || (e.Instr.Op.IsTwoOperand() && check(e.Instr.Dst)) {
+			return nil, fmt.Errorf("core: line %d uses r5, which EILID reserves for the shadow-stack index", e.Line)
+		}
+	}
+
+	// Function table = direct call targets ∪ address-taken labels,
+	// excluding main (never a legal indirect target in our model).
+	set := map[string]bool{}
+	for n := range callTargets {
+		set[n] = true
+	}
+	for n := range addressTaken {
+		set[n] = true
+	}
+	delete(set, ins.cfg.MainLabel)
+	for n := range set {
+		a.functions = append(a.functions, n)
+	}
+	sort.Slice(a.functions, func(i, j int) bool {
+		ai, aj := lst.Symbols[a.functions[i]], lst.Symbols[a.functions[j]]
+		if ai != aj {
+			return ai < aj
+		}
+		return a.functions[i] < a.functions[j]
+	})
+	if len(a.functions) > ins.cfg.MaxFunctions {
+		return nil, fmt.Errorf("core: %d functions exceed the table capacity %d",
+			len(a.functions), ins.cfg.MaxFunctions)
+	}
+
+	for _, r := range []isa.Reg{RegSelector, RegArg0, RegArg1} {
+		if usedReserved[r] {
+			a.spills = append(a.spills, r)
+		}
+	}
+
+	// §VII diagnostics. Indirect jumps (mov rN/@rN, pc other than the
+	// emulated ret) bypass the shadow stack; EILID deliberately leaves
+	// them to the W⊕X layer but warns, as the paper's instrumenter does.
+	for _, e := range lst.Entries {
+		if !e.IsInstr {
+			continue
+		}
+		in := e.Instr
+		if in.Op == isa.MOV && in.Dst == isa.RegOp(isa.PC) && !isRet(in) &&
+			in.Src.Mode != isa.ModeImmediate && in.Src.Mode != isa.ModeSymbolic {
+			a.warnings = append(a.warnings, fmt.Sprintf(
+				"line %d: indirect jump (%s) is outside EILID's CFI; only W^X applies", e.Line, isa.Disassemble(in)))
+		}
+	}
+	// Direct recursion: a call #f whose site lies inside f's own extent.
+	// Function extents are approximated by the discovered function labels
+	// (sorted by address); recursion overflows the fixed shadow stack at
+	// run time, so the paper advises converting it to iteration.
+	type extent struct {
+		name   string
+		lo, hi uint16
+	}
+	var extents []extent
+	fnNames := append([]string(nil), a.functions...)
+	if _, ok := lst.Symbols[ins.cfg.MainLabel]; ok {
+		fnNames = append(fnNames, ins.cfg.MainLabel)
+	}
+	sort.Slice(fnNames, func(i, j int) bool { return lst.Symbols[fnNames[i]] < lst.Symbols[fnNames[j]] })
+	for i, name := range fnNames {
+		hi := uint16(0xFFFF)
+		if i+1 < len(fnNames) {
+			hi = lst.Symbols[fnNames[i+1]] - 1
+		}
+		extents = append(extents, extent{name, lst.Symbols[name], hi})
+	}
+	for _, e := range lst.Entries {
+		if !e.IsInstr || e.Instr.Op != isa.CALL || e.Instr.Src.Mode != isa.ModeImmediate {
+			continue
+		}
+		target := e.Instr.Src.X
+		for _, x := range extents {
+			if target == x.lo && e.Addr >= x.lo && e.Addr <= x.hi {
+				a.warnings = append(a.warnings, fmt.Sprintf(
+					"line %d: direct recursion into %q; the shadow stack holds %d frames and will reset on overflow",
+					e.Line, x.name, ins.cfg.MaxShadowEntries))
+			}
+		}
+	}
+	return a, nil
+}
+
+// raResolver supplies the numeric return address for the direct call that
+// will sit at the given line of the INSTRUMENTED file; ok=false on the
+// first iteration (placeholder is used instead).
+type raResolver func(instrLine int) (uint16, bool)
+
+// emitState accumulates the instrumented source.
+type emitState struct {
+	lines []string
+	orig  int // original lines consumed so far
+	stats InstrumentStats
+}
+
+func (s *emitState) emit(format string, args ...interface{}) {
+	s.lines = append(s.lines, fmt.Sprintf(format, args...))
+}
+
+// nextLine is the 1-based line number the next emit will occupy.
+func (s *emitState) nextLine() int { return len(s.lines) + 1 }
+
+// instrument generates the instrumented source. The structure (line
+// layout, instruction sizes) is identical regardless of the resolver, so
+// iterating the build converges after one re-resolution.
+func (ins *Instrumenter) instrument(origSrc string, a *analysis, resolve raResolver) (string, InstrumentStats) {
+	st := &emitState{}
+	spill := a.spills
+
+	pushSpills := func() {
+		for _, r := range spill {
+			st.emit("    push %s ; EILID spill", r)
+			st.stats.InsertedLines++
+		}
+	}
+	popSpills := func() {
+		for i := len(spill) - 1; i >= 0; i-- {
+			st.emit("    pop %s ; EILID spill", spill[i])
+			st.stats.InsertedLines++
+		}
+	}
+
+	for _, raw := range strings.Split(origSrc, "\n") {
+		// The original line number is implied by iteration order; the
+		// classification map is keyed on it.
+		st.orig++
+		origLine := st.orig
+
+		switch a.classes[origLine] {
+		case classDirectCall:
+			pushSpills()
+			raLine := st.nextLine()
+			// The original call will land after: mov(4) + call(4) +
+			// len(spill) pops (2 each). Its instrumented line number:
+			callLine := raLine + 2 + len(spill)
+			ra, ok := resolve(callLine)
+			if !ok {
+				ra = raPlaceholder
+			}
+			st.emit("    mov #0x%04x, r6 ; EILID: return address of next call", ra)
+			st.emit("    call #NS_EILID_store_ra")
+			st.stats.InsertedLines += 2
+			popSpills()
+			st.lines = append(st.lines, raw)
+			st.stats.DirectCalls++
+
+		case classIndirectCall:
+			// Indirect calls are still calls: P1 protects their return
+			// (store_ra) and P3 validates the forward edge (check_ind).
+			in := a.instr[origLine]
+			pushSpills()
+			raLine := st.nextLine()
+			callLine := raLine + 4 + len(spill)
+			ra, ok := resolve(callLine)
+			if !ok {
+				ra = raPlaceholder
+			}
+			st.emit("    mov #0x%04x, r6 ; EILID: return address of next call", ra)
+			st.emit("    call #NS_EILID_store_ra")
+			st.emit("    mov %s, r6 ; EILID: indirect target", in.Src)
+			st.emit("    call #NS_EILID_check_ind")
+			st.stats.InsertedLines += 4
+			popSpills()
+			st.lines = append(st.lines, raw)
+			st.stats.IndirectCalls++
+
+		case classReturn:
+			pushSpills()
+			off := 2 * len(spill)
+			if off == 0 {
+				st.emit("    mov @sp, r6 ; EILID: return address on stack")
+			} else {
+				st.emit("    mov %d(sp), r6 ; EILID: return address on stack", off)
+			}
+			st.emit("    call #NS_EILID_check_ra")
+			st.stats.InsertedLines += 2
+			popSpills()
+			st.lines = append(st.lines, raw)
+			st.stats.Returns++
+
+		case classReti:
+			// Epilogue: context sits above the three reserved-register
+			// saves installed by the prologue.
+			st.emit("    mov 8(sp), r6 ; EILID: saved return address")
+			st.emit("    mov 6(sp), r7 ; EILID: saved status register")
+			st.emit("    call #NS_EILID_check_rfi")
+			st.emit("    pop r7 ; EILID ISR restore")
+			st.emit("    pop r6 ; EILID ISR restore")
+			st.emit("    pop r4 ; EILID ISR restore")
+			st.stats.InsertedLines += 6
+			st.lines = append(st.lines, raw)
+			st.stats.ISREpilogues++
+
+		case classMainLabel:
+			st.lines = append(st.lines, raw)
+			st.emit("    call #NS_EILID_init ; EILID: reset shadow state")
+			st.stats.InsertedLines++
+			for _, fn := range a.functions {
+				st.emit("    mov #%s, r6 ; EILID: register function entry", fn)
+				st.emit("    call #NS_EILID_store_ind")
+				st.stats.InsertedLines += 2
+				st.stats.TableEntries++
+			}
+
+		case classISRLabel:
+			st.lines = append(st.lines, raw)
+			// Save the reserved registers first: an interrupt may land in
+			// the middle of an instrumentation block whose r4/r6/r7 are
+			// live. Then capture the interrupt context (return address at
+			// 8(sp), SR at 6(sp) above the three saves).
+			st.emit("    push r4 ; EILID ISR save")
+			st.emit("    push r6 ; EILID ISR save")
+			st.emit("    push r7 ; EILID ISR save")
+			st.emit("    mov 8(sp), r6 ; EILID: interrupt return address")
+			st.emit("    mov 6(sp), r7 ; EILID: interrupt status register")
+			st.emit("    call #NS_EILID_store_rfi")
+			st.stats.InsertedLines += 6
+			st.stats.ISRPrologues++
+
+		default:
+			st.lines = append(st.lines, raw)
+		}
+	}
+
+	// Gateway trampolines (NS_EILID_*): the non-secure stubs that select
+	// the S_EILID function in r4 and branch to the single secure entry
+	// point. They live at a fixed org at the top of user PMEM.
+	st.lines = append(st.lines, ins.gatewayLines()...)
+
+	st.stats.SpilledRegs = spill
+	st.stats.Warnings = append([]string(nil), a.warnings...)
+	return strings.Join(st.lines, "\n") + "\n", st.stats
+}
+
+// gatewayLines emits the NS_EILID_* stub block.
+func (ins *Instrumenter) gatewayLines() []string {
+	lines := []string{
+		"",
+		"; ---- EILID non-secure gateway (generated) ----",
+		fmt.Sprintf(".equ S_EILID_entry, 0x%04x", ins.rom.Entry),
+		fmt.Sprintf(".org 0x%04x", ins.cfg.TrampolineOrg),
+	}
+	for sel, name := range trampolineNames {
+		lines = append(lines,
+			name+":",
+			fmt.Sprintf("    mov #%d, r4", sel),
+			"    br #S_EILID_entry",
+		)
+	}
+	return lines
+}
+
+// GatewaySource returns the NS_EILID_* gateway block as assembly text.
+// Hand-written firmware (tests, the EILIDsw conformance driver) appends
+// it to call the trusted functions without going through the pipeline.
+func (ins *Instrumenter) GatewaySource() string {
+	return strings.Join(ins.gatewayLines(), "\n") + "\n"
+}
+
+// Sites returns the total number of instrumented locations.
+func (s *InstrumentStats) Sites() int {
+	return s.DirectCalls + s.Returns + s.ISRPrologues + s.ISREpilogues + s.IndirectCalls
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"eilid/internal/asm"
+	"eilid/internal/casu"
+	"eilid/internal/cpu"
+	"eilid/internal/mem"
+	"eilid/internal/periph"
+)
+
+// SimCtlAddr is the simulation-control register: firmware writes any
+// value to signal completion (the simulated counterpart of the testbench
+// "end of simulation" GPIO used by openMSP430 benchmarks). The low byte
+// is the exit code.
+const SimCtlAddr = 0x00FC
+
+// simCtl latches the halt request.
+type simCtl struct {
+	halted bool
+	code   uint16
+}
+
+func (s *simCtl) LoadWord(addr uint16) uint16 { return s.code }
+func (s *simCtl) StoreWord(addr uint16, v uint16) {
+	s.halted = true
+	s.code = v
+}
+
+// Machine is a complete simulated EILID device: CPU, memory, peripherals,
+// the CASU/EILID hardware monitor and the secure ROM. With Protected =
+// false it models the unprotected baseline used in the paper's attack
+// comparisons (same hardware, monitor absent).
+type Machine struct {
+	Space  *mem.Space
+	CPU    *cpu.CPU
+	IRQ    *periph.IRQController
+	Port1  *periph.GPIO
+	Port2  *periph.GPIO
+	TimerA *periph.Timer
+	ADC    *periph.ADC
+	UART   *periph.UART
+	LCD    *periph.LCD
+	Ranger *periph.Ultrasonic
+	Latch  *periph.ViolationLatch
+
+	// Monitor is nil on unprotected machines.
+	Monitor *casu.Monitor
+
+	// ResetCount counts hardware-triggered resets (violations).
+	ResetCount int
+	// ResetReasons records the violation behind each reset.
+	ResetReasons []casu.Violation
+
+	ctl *simCtl
+}
+
+// MachineOptions configures NewMachine.
+type MachineOptions struct {
+	Config Config
+	// ROM is the EILIDsw build; required when Protected.
+	ROM *SecureROM
+	// Protected enables the CASU/EILID hardware monitor and loads the
+	// secure ROM.
+	Protected bool
+}
+
+// NewMachine assembles a device.
+func NewMachine(opts MachineOptions) (*Machine, error) {
+	cfg := opts.Config
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	space, err := mem.NewSpace(cfg.Layout)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{Space: space, IRQ: &periph.IRQController{}, ctl: &simCtl{}}
+	m.CPU = cpu.New(space)
+
+	m.Port1 = periph.NewGPIO(periph.P1INAddr, m.IRQ, periph.IRQPort1)
+	m.Port2 = periph.NewGPIO(periph.P2INAddr, m.IRQ, periph.IRQPort1)
+	m.Port1.Clock = func() uint64 { return m.CPU.Cycles }
+	m.Port2.Clock = func() uint64 { return m.CPU.Cycles }
+	m.TimerA = periph.NewTimer(0x0160, m.IRQ, periph.IRQTimerA)
+	m.ADC = periph.NewADC(m.IRQ, periph.IRQADC)
+	m.UART = periph.NewUART(m.IRQ, periph.IRQUART)
+	m.LCD = periph.NewLCD()
+	m.Ranger = periph.NewUltrasonic(m.IRQ, periph.IRQUltrasonic)
+	m.Latch = &periph.ViolationLatch{}
+
+	// Default sensor wiring matching the benchmark applications:
+	// channel 0 = ambient light, 1 = temperature, 2 = flame detector.
+	m.ADC.Attach(0, periph.LightSensorModel)
+	m.ADC.Attach(1, periph.TempSensorModel)
+	m.ADC.Attach(2, periph.FlameSensorModel)
+	m.Ranger.Distance = periph.RangerDistanceModel
+
+	type span interface {
+		Span() (uint16, uint16)
+	}
+	for _, dev := range []struct {
+		s span
+		h mem.Handler
+	}{
+		{m.Port1, m.Port1}, {m.Port2, m.Port2}, {m.TimerA, m.TimerA},
+		{m.ADC, m.ADC}, {m.UART, m.UART}, {m.LCD, m.LCD},
+		{m.Ranger, m.Ranger}, {m.Latch, m.Latch},
+	} {
+		lo, hi := dev.s.Span()
+		if err := space.Map(lo, hi, dev.h); err != nil {
+			return nil, err
+		}
+	}
+	if err := space.Map(SimCtlAddr, SimCtlAddr+1, m.ctl); err != nil {
+		return nil, err
+	}
+
+	if opts.Protected {
+		if opts.ROM == nil {
+			return nil, errors.New("core: protected machine requires the EILIDsw ROM")
+		}
+		if err := opts.ROM.Program.Image.WriteTo(space); err != nil {
+			return nil, fmt.Errorf("core: loading EILIDsw: %w", err)
+		}
+		m.Monitor = casu.NewMonitor(casu.Config{
+			Layout:              cfg.Layout,
+			EntryPoint:          opts.ROM.Entry,
+			ExitPoint:           opts.ROM.Exit,
+			ViolationAddr:       cfg.ViolationAddr,
+			EnforceSecureRegion: true,
+		})
+		m.CPU.Watch = m.Monitor
+		m.CPU.IRQ = &casu.GateIRQ{
+			Inner:  m.IRQ,
+			Layout: cfg.Layout,
+			PCNow:  m.CPU.PC,
+		}
+	} else {
+		m.CPU.IRQ = m.IRQ
+	}
+	return m, nil
+}
+
+// LoadFirmware programs an application image into memory (the flashing
+// step before boot; not subject to run-time immutability).
+func (m *Machine) LoadFirmware(img *asm.Image) error {
+	return img.WriteTo(m.Space)
+}
+
+// Boot resets the CPU through the reset vector.
+func (m *Machine) Boot() {
+	m.IRQ.Reset()
+	m.Latch.Reset()
+	m.ctl.halted = false
+	if m.Monitor != nil {
+		m.Monitor.Clear()
+	}
+	m.CPU.Reset(m.Space.Layout.ResetVector())
+}
+
+// Halted reports whether firmware wrote the simulation-control register.
+func (m *Machine) Halted() bool { return m.ctl.halted }
+
+// ExitCode returns the value written to the simulation-control register.
+func (m *Machine) ExitCode() uint16 { return m.ctl.code }
+
+// deviceReset is the hardware response to a monitor violation: volatile
+// memory cleared, CPU rebooted, peripherals' interrupt state dropped.
+// Program memory and the secure ROM survive (they are immutable anyway).
+func (m *Machine) deviceReset(v casu.Violation) {
+	m.ResetCount++
+	m.ResetReasons = append(m.ResetReasons, v)
+	m.Space.Reset()
+	m.Boot()
+}
+
+// Step executes one CPU step, ticks the peripherals and applies the
+// reset-on-violation rule. It returns the cycles consumed.
+func (m *Machine) Step() (int, error) {
+	n, err := m.CPU.Step()
+	// The monitor outranks the fault path: if the instruction tripped a
+	// violation (even one that also confused the decoder, e.g. a jump
+	// into data), the hardware resets before anything else happens.
+	if m.Monitor != nil {
+		if v := m.Monitor.Violation(); v != nil {
+			m.deviceReset(*v)
+			return n, nil
+		}
+	}
+	if err != nil {
+		// A decode fault on real hardware executes garbage; under EILID
+		// the W⊕X/immutability monitors normally fire first. Surface it.
+		return n, err
+	}
+	m.TimerA.Tick(n)
+	m.ADC.Tick(n)
+	m.Ranger.Tick(n)
+	return n, nil
+}
+
+// RunResult summarizes a Run.
+type RunResult struct {
+	Cycles     uint64 // cycles consumed during this run
+	Insns      uint64
+	Halted     bool
+	ExitCode   uint16
+	Resets     int // resets that occurred during this run
+	LastReason *casu.Violation
+}
+
+// ErrCycleBudget is returned when Run hits maxCycles before the firmware
+// halts.
+var ErrCycleBudget = errors.New("core: cycle budget exhausted before halt")
+
+// Run executes until the firmware halts via the simulation-control
+// register, a fault occurs, or maxCycles elapse.
+func (m *Machine) Run(maxCycles uint64) (RunResult, error) {
+	startCycles, startInsns, startResets := m.CPU.Cycles, m.CPU.Insns, m.ResetCount
+	for !m.ctl.halted {
+		if m.CPU.Cycles-startCycles >= maxCycles {
+			return m.result(startCycles, startInsns, startResets), ErrCycleBudget
+		}
+		if _, err := m.Step(); err != nil {
+			return m.result(startCycles, startInsns, startResets), err
+		}
+	}
+	return m.result(startCycles, startInsns, startResets), nil
+}
+
+// RunUntilReset executes until a monitor reset happens (attack testing),
+// the firmware halts, or maxCycles elapse.
+func (m *Machine) RunUntilReset(maxCycles uint64) (RunResult, error) {
+	startCycles, startInsns, startResets := m.CPU.Cycles, m.CPU.Insns, m.ResetCount
+	for !m.ctl.halted && m.ResetCount == startResets {
+		if m.CPU.Cycles-startCycles >= maxCycles {
+			return m.result(startCycles, startInsns, startResets), ErrCycleBudget
+		}
+		if _, err := m.Step(); err != nil {
+			return m.result(startCycles, startInsns, startResets), err
+		}
+	}
+	return m.result(startCycles, startInsns, startResets), nil
+}
+
+func (m *Machine) result(c0, i0 uint64, r0 int) RunResult {
+	res := RunResult{
+		Cycles:   m.CPU.Cycles - c0,
+		Insns:    m.CPU.Insns - i0,
+		Halted:   m.ctl.halted,
+		ExitCode: m.ctl.code,
+		Resets:   m.ResetCount - r0,
+	}
+	if len(m.ResetReasons) > 0 && res.Resets > 0 {
+		v := m.ResetReasons[len(m.ResetReasons)-1]
+		res.LastReason = &v
+	}
+	return res
+}
+
+// ShadowEntries reads the live shadow stack (for tests and debugging; a
+// real device cannot do this from non-secure code, but the simulator's
+// test harness is "outside the universe").
+func (m *Machine) ShadowEntries(cfg Config) []uint16 {
+	idx := m.CPU.R[RegIndex]
+	if int(idx) > cfg.MaxShadowEntries {
+		idx = uint16(cfg.MaxShadowEntries)
+	}
+	out := make([]uint16, idx)
+	for i := range out {
+		out[i] = m.Space.LoadWord(cfg.ShadowBase + uint16(2*i))
+	}
+	return out
+}
+
+// FunctionTable reads the live forward-edge table.
+func (m *Machine) FunctionTable(cfg Config) []uint16 {
+	n := m.Space.LoadWord(cfg.TableCountAddr)
+	if int(n) > cfg.MaxFunctions {
+		n = uint16(cfg.MaxFunctions)
+	}
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = m.Space.LoadWord(cfg.TableBase + uint16(2*i))
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"eilid/internal/asm"
+)
+
+// BuildResult is the output of the three-iteration EILID build.
+type BuildResult struct {
+	// Original is the uninstrumented build (the paper's app_1 chain).
+	Original *asm.Program
+	// Instrumented is the final CFI-aware build (app.elf in Figure 2).
+	Instrumented *asm.Program
+	// InstrumentedSource is the final instrumented assembly text.
+	InstrumentedSource string
+	// Stats describes the inserted instrumentation.
+	Stats InstrumentStats
+	// Iterations is the number of assembler runs performed (3, per the
+	// paper's compile flow).
+	Iterations int
+}
+
+// Pipeline is the EILID build driver implementing paper Figure 2:
+//
+//	build #1: assemble the original source        -> app_1.lst
+//	instrument (addresses unknown: placeholders)  -> app_2_instr.s
+//	build #2: assemble the instrumented source    -> app_2.lst (shifted)
+//	instrument again resolving return addresses
+//	from app_2.lst                                -> app_instr.s
+//	build #3: assemble                            -> app.elf / app.lst
+//
+// The second instrumentation pass produces a file with the same line
+// structure and instruction sizes as the first (placeholders are sized
+// like real addresses), so the addresses in app_2.lst are exactly the
+// addresses of the final binary.
+type Pipeline struct {
+	cfg Config
+	rom *SecureROM
+	ins *Instrumenter
+}
+
+// NewPipeline builds the secure ROM and returns a ready build driver.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	rom, err := BuildSecureROM(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{cfg: cfg, rom: rom, ins: NewInstrumenter(cfg, rom)}, nil
+}
+
+// Config returns the pipeline configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// ROM returns the secure ROM shared by all builds from this pipeline.
+func (p *Pipeline) ROM() *SecureROM { return p.rom }
+
+// BuildOriginal assembles the uninstrumented program (one assembler run,
+// the baseline of Table IV).
+func (p *Pipeline) BuildOriginal(name, src string) (*asm.Program, error) {
+	return asm.Assemble(name, src)
+}
+
+// Build runs the full three-iteration EILID compile.
+func (p *Pipeline) Build(name, src string) (*BuildResult, error) {
+	// Build #1: original program; its listing drives classification.
+	orig, err := asm.Assemble(name, src)
+	if err != nil {
+		return nil, fmt.Errorf("core: build 1 (original): %w", err)
+	}
+	a, err := p.ins.analyze(orig)
+	if err != nil {
+		return nil, err
+	}
+
+	// Instrumentation pass 1: return addresses unknown (app_1.lst has
+	// pre-shift addresses), so placeholders go in.
+	src2, _ := p.ins.instrument(src, a, func(int) (uint16, bool) { return 0, false })
+
+	// Build #2: the instrumented program with placeholder addresses. Its
+	// listing has the final (shifted) layout.
+	prog2, err := asm.Assemble(name+".instr", src2)
+	if err != nil {
+		return nil, fmt.Errorf("core: build 2 (instrumented, placeholders): %w", err)
+	}
+	lst2 := prog2.Listing
+
+	// Instrumentation pass 2: resolve every return address from lst2.
+	var resolveErr error
+	src3, stats := p.ins.instrument(src, a, func(instrLine int) (uint16, bool) {
+		e, ok := lst2.EntryForLine(instrLine)
+		if !ok || !e.IsInstr {
+			resolveErr = fmt.Errorf("core: no instruction at instrumented line %d in iteration-2 listing", instrLine)
+			return 0, false
+		}
+		return e.Addr + e.Size(), true
+	})
+	if resolveErr != nil {
+		return nil, resolveErr
+	}
+
+	// Build #3: the final binary.
+	final, err := asm.Assemble(name+".instr", src3)
+	if err != nil {
+		return nil, fmt.Errorf("core: build 3 (final): %w", err)
+	}
+
+	// Layout-stability check (the property Figure 2 depends on): the
+	// final build must place every line exactly where build #2 did.
+	if len(final.Listing.Entries) != len(lst2.Entries) {
+		return nil, fmt.Errorf("core: pipeline diverged: %d vs %d listing entries",
+			len(final.Listing.Entries), len(lst2.Entries))
+	}
+	for i, e := range final.Listing.Entries {
+		if e.Addr != lst2.Entries[i].Addr || e.Size() != lst2.Entries[i].Size() {
+			return nil, fmt.Errorf("core: pipeline diverged at listing entry %d (line %d): 0x%04x/%d vs 0x%04x/%d",
+				i, e.Line, e.Addr, e.Size(), lst2.Entries[i].Addr, lst2.Entries[i].Size())
+		}
+	}
+
+	return &BuildResult{
+		Original:           orig,
+		Instrumented:       final,
+		InstrumentedSource: src3,
+		Stats:              stats,
+		Iterations:         3,
+	}, nil
+}

@@ -1,0 +1,113 @@
+package core
+
+import "errors"
+
+// ShadowStack is a Go reference model of the EILIDsw shadow stack plus
+// function table. The assembly implementation in the secure ROM must
+// behave exactly like this model; the property tests in machine_test.go
+// drive both with the same operation sequences and compare outcomes.
+type ShadowStack struct {
+	maxEntries int
+	maxFuncs   int
+
+	entries []uint16
+	table   []uint16
+}
+
+// Model errors mirror the violation conditions EILIDsw raises.
+var (
+	ErrShadowOverflow  = errors.New("core: shadow stack overflow")
+	ErrShadowUnderflow = errors.New("core: shadow stack underflow")
+	ErrShadowMismatch  = errors.New("core: return address mismatch")
+	ErrContextMismatch = errors.New("core: interrupt context mismatch")
+	ErrTableFull       = errors.New("core: function table full")
+	ErrIllegalTarget   = errors.New("core: indirect target not in table")
+)
+
+// NewShadowStack creates a model with the configured capacities.
+func NewShadowStack(cfg Config) *ShadowStack {
+	return &ShadowStack{maxEntries: cfg.MaxShadowEntries, maxFuncs: cfg.MaxFunctions}
+}
+
+// Init implements S_EILID_init.
+func (s *ShadowStack) Init() {
+	s.entries = s.entries[:0]
+	s.table = s.table[:0]
+}
+
+// Depth returns the current number of stored words.
+func (s *ShadowStack) Depth() int { return len(s.entries) }
+
+// Entries returns a copy of the stored words (bottom first).
+func (s *ShadowStack) Entries() []uint16 {
+	return append([]uint16(nil), s.entries...)
+}
+
+// StoreRA implements S_EILID_store_ra (P1).
+func (s *ShadowStack) StoreRA(ra uint16) error {
+	if len(s.entries) >= s.maxEntries {
+		return ErrShadowOverflow
+	}
+	s.entries = append(s.entries, ra)
+	return nil
+}
+
+// CheckRA implements S_EILID_check_ra (P1).
+func (s *ShadowStack) CheckRA(ra uint16) error {
+	if len(s.entries) == 0 {
+		return ErrShadowUnderflow
+	}
+	top := s.entries[len(s.entries)-1]
+	s.entries = s.entries[:len(s.entries)-1]
+	if top != ra {
+		return ErrShadowMismatch
+	}
+	return nil
+}
+
+// StoreRFI implements S_EILID_store_rfi (P2).
+func (s *ShadowStack) StoreRFI(ra, sr uint16) error {
+	if len(s.entries)+2 > s.maxEntries {
+		return ErrShadowOverflow
+	}
+	s.entries = append(s.entries, ra, sr)
+	return nil
+}
+
+// CheckRFI implements S_EILID_check_rfi (P2).
+func (s *ShadowStack) CheckRFI(ra, sr uint16) error {
+	if len(s.entries) < 2 {
+		return ErrShadowUnderflow
+	}
+	gotRA := s.entries[len(s.entries)-2]
+	gotSR := s.entries[len(s.entries)-1]
+	s.entries = s.entries[:len(s.entries)-2]
+	if gotRA != ra || gotSR != sr {
+		return ErrContextMismatch
+	}
+	return nil
+}
+
+// StoreInd implements S_EILID_store_ind (P3).
+func (s *ShadowStack) StoreInd(fn uint16) error {
+	if len(s.table) >= s.maxFuncs {
+		return ErrTableFull
+	}
+	s.table = append(s.table, fn)
+	return nil
+}
+
+// CheckInd implements S_EILID_check_ind (P3).
+func (s *ShadowStack) CheckInd(fn uint16) error {
+	for _, v := range s.table {
+		if v == fn {
+			return nil
+		}
+	}
+	return ErrIllegalTarget
+}
+
+// Table returns a copy of the registered targets.
+func (s *ShadowStack) Table() []uint16 {
+	return append([]uint16(nil), s.table...)
+}

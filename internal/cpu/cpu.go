@@ -1,0 +1,615 @@
+// Package cpu implements a cycle-accurate MSP430 CPU core on top of the
+// instruction model in internal/isa. It executes the full classic
+// instruction set (all three formats, all addressing modes, byte/word
+// widths), services maskable interrupts with the architectural
+// push-PC/push-SR/vector sequence, and accounts cycles per the TI table so
+// that simulated run times correspond to what the paper measures in
+// Vivado behavioural simulation.
+//
+// The core exposes a Watcher interface carrying the architectural signals
+// (instruction fetch address, data reads/writes with the issuing PC,
+// interrupt acceptance) that the CASU/EILID hardware monitor in
+// internal/casu observes — the same bus- and PC-level signals the paper's
+// Verilog monitor taps.
+package cpu
+
+import (
+	"fmt"
+
+	"eilid/internal/isa"
+)
+
+// Bus is the memory system the CPU drives (implemented by mem.Space).
+type Bus interface {
+	LoadWord(addr uint16) uint16
+	StoreWord(addr uint16, v uint16)
+	LoadByte(addr uint16) uint8
+	StoreByte(addr uint16, v uint8)
+}
+
+// Watcher observes architectural events. All methods are called
+// synchronously during Step; a nil watcher disables observation.
+type Watcher interface {
+	// OnFetch fires before the instruction at pc executes; prev is the
+	// address of the previously executed instruction (or the reset
+	// vector target after reset).
+	OnFetch(prev, pc uint16)
+	// OnRead fires for each data-bus read issued by the instruction at pc.
+	OnRead(pc, addr uint16, byteWide bool)
+	// OnWrite fires for each data-bus write issued by the instruction at pc.
+	OnWrite(pc, addr uint16, byteWide bool, value uint16)
+	// OnInterrupt fires when an interrupt on the given line is accepted,
+	// before the context push; pc is the interrupted instruction address.
+	OnInterrupt(pc uint16, line int)
+}
+
+// IRQSource supplies pending interrupt lines (implemented by
+// periph.IRQController). Lower line numbers are lower priority; the reset
+// line (15) is handled by the machine, not the CPU.
+type IRQSource interface {
+	// HighestPending returns the highest-priority pending maskable line,
+	// or -1 if none.
+	HighestPending() int
+	// Acknowledge clears the pending flag for the line.
+	Acknowledge(line int)
+}
+
+// ExecError reports a fault the real hardware would stumble through but a
+// simulator must surface: undecodable opcodes or fetches that wrapped the
+// address space.
+type ExecError struct {
+	PC  uint16
+	Err error
+}
+
+func (e *ExecError) Error() string {
+	return fmt.Sprintf("cpu: fault at pc=0x%04x: %v", e.PC, e.Err)
+}
+
+func (e *ExecError) Unwrap() error { return e.Err }
+
+// CPU is the processor state.
+type CPU struct {
+	R   [isa.NumRegs]uint16
+	bus Bus
+
+	// Watch observes architectural events (may be nil).
+	Watch Watcher
+	// IRQ supplies maskable interrupt requests (may be nil).
+	IRQ IRQSource
+
+	// Cycles is total MCLK cycles since power-on (monotonic across
+	// resets, like a bench clock).
+	Cycles uint64
+	// Insns counts executed instructions.
+	Insns uint64
+	// Interrupts counts accepted interrupts.
+	Interrupts uint64
+
+	prevPC uint16
+}
+
+// New creates a CPU attached to the bus. Call Reset before stepping.
+func New(bus Bus) *CPU {
+	return &CPU{bus: bus}
+}
+
+// PC returns the program counter.
+func (c *CPU) PC() uint16 { return c.R[isa.PC] }
+
+// SP returns the stack pointer.
+func (c *CPU) SP() uint16 { return c.R[isa.SP] }
+
+// SR returns the status register.
+func (c *CPU) SR() uint16 { return c.R[isa.SR] }
+
+// PrevPC returns the address of the most recently executed instruction.
+func (c *CPU) PrevPC() uint16 { return c.prevPC }
+
+// Flag reports whether the given status flag is set.
+func (c *CPU) Flag(f uint16) bool { return c.R[isa.SR]&f != 0 }
+
+// Off reports whether the CPU is in a low-power mode (CPUOFF set).
+func (c *CPU) Off() bool { return c.Flag(isa.FlagCPUOff) }
+
+// Reset performs the power-up/reset sequence: clear registers, load PC
+// from the reset vector. The 4-cycle reset latency models the openMSP430
+// reset-release to first-fetch delay.
+func (c *CPU) Reset(resetVector uint16) {
+	for i := range c.R {
+		c.R[i] = 0
+	}
+	c.R[isa.PC] = c.bus.LoadWord(resetVector)
+	c.prevPC = c.R[isa.PC]
+	c.Cycles += 4
+}
+
+// --- bus helpers with watch notification -------------------------------
+
+func (c *CPU) loadWord(pc, addr uint16) uint16 {
+	if c.Watch != nil {
+		c.Watch.OnRead(pc, addr, false)
+	}
+	return c.bus.LoadWord(addr)
+}
+
+func (c *CPU) storeWord(pc, addr, v uint16) {
+	if c.Watch != nil {
+		c.Watch.OnWrite(pc, addr, false, v)
+	}
+	c.bus.StoreWord(addr, v)
+}
+
+func (c *CPU) loadByte(pc, addr uint16) uint8 {
+	if c.Watch != nil {
+		c.Watch.OnRead(pc, addr, true)
+	}
+	return c.bus.LoadByte(addr)
+}
+
+func (c *CPU) storeByte(pc, addr uint16, v uint8) {
+	if c.Watch != nil {
+		c.Watch.OnWrite(pc, addr, true, uint16(v))
+	}
+	c.bus.StoreByte(addr, v)
+}
+
+// push stores v at --SP.
+func (c *CPU) push(pc, v uint16) {
+	c.R[isa.SP] -= 2
+	c.storeWord(pc, c.R[isa.SP], v)
+}
+
+// --- interrupt service --------------------------------------------------
+
+// serviceInterrupt performs the architectural interrupt sequence for the
+// given line: push PC, push SR, clear SR (drops GIE and wakes CPUOFF),
+// load PC from the vector.
+func (c *CPU) serviceInterrupt(line int, vectorAddr uint16) {
+	pc := c.R[isa.PC]
+	if c.Watch != nil {
+		c.Watch.OnInterrupt(pc, line)
+	}
+	c.push(pc, c.R[isa.PC])
+	c.push(pc, c.R[isa.SR])
+	c.R[isa.SR] = 0
+	c.R[isa.PC] = c.loadWord(pc, vectorAddr)
+	c.Cycles += isa.CyclesInterruptEntry
+	c.Interrupts++
+	if c.IRQ != nil {
+		c.IRQ.Acknowledge(line)
+	}
+}
+
+// VectorBase is the bottom of the interrupt vector table.
+const VectorBase = 0xFFE0
+
+// Step executes one instruction (or services one interrupt, or idles one
+// cycle in a low-power mode) and returns the cycles consumed.
+func (c *CPU) Step() (int, error) {
+	start := c.Cycles
+
+	// Interrupt acceptance happens between instructions when GIE is set.
+	if c.IRQ != nil && c.Flag(isa.FlagGIE) {
+		if line := c.IRQ.HighestPending(); line >= 0 {
+			c.serviceInterrupt(line, VectorBase+uint16(line)*2)
+			return int(c.Cycles - start), nil
+		}
+	}
+
+	// Low-power mode: the core clock idles until an interrupt wakes it.
+	if c.Off() {
+		c.Cycles++
+		return 1, nil
+	}
+
+	pc := c.R[isa.PC]
+	if c.Watch != nil {
+		c.Watch.OnFetch(c.prevPC, pc)
+	}
+
+	// Fetch up to the maximum instruction length. Instruction fetches are
+	// not reported through OnRead: the monitor sees them via OnFetch.
+	words := [3]uint16{
+		c.bus.LoadWord(pc),
+		c.bus.LoadWord(pc + 2),
+		c.bus.LoadWord(pc + 4),
+	}
+	in, _, err := isa.Decode(words[:])
+	if err != nil {
+		return 0, &ExecError{PC: pc, Err: err}
+	}
+	size := in.Size()
+	c.R[isa.PC] = pc + size
+	c.prevPC = pc
+
+	if err := c.execute(pc, in); err != nil {
+		return 0, &ExecError{PC: pc, Err: err}
+	}
+	c.Cycles += uint64(isa.Cycles(in))
+	c.Insns++
+	return int(c.Cycles - start), nil
+}
+
+// --- operand access -----------------------------------------------------
+
+// operand location: either a register or a memory effective address.
+type loc struct {
+	isReg bool
+	reg   isa.Reg
+	ea    uint16
+}
+
+// resolve computes the location of an operand and performs any
+// auto-increment side effect. pc is the instruction address; extAddr the
+// address of the operand's extension word (for symbolic mode).
+func (c *CPU) resolve(pc uint16, o isa.Operand, extAddr uint16, byteOp bool) loc {
+	switch o.Mode {
+	case isa.ModeRegister:
+		return loc{isReg: true, reg: o.Reg}
+	case isa.ModeIndexed:
+		return loc{ea: c.R[o.Reg] + o.X}
+	case isa.ModeSymbolic:
+		return loc{ea: extAddr + o.X}
+	case isa.ModeAbsolute:
+		return loc{ea: o.X}
+	case isa.ModeIndirect:
+		return loc{ea: c.R[o.Reg]}
+	case isa.ModeIndirectInc:
+		ea := c.R[o.Reg]
+		step := uint16(2)
+		if byteOp {
+			step = 1
+		}
+		c.R[o.Reg] = ea + step
+		return loc{ea: ea}
+	}
+	// Immediate has no location; callers special-case it.
+	return loc{}
+}
+
+// readLoc reads the operand value at l.
+func (c *CPU) readLoc(pc uint16, l loc, byteOp bool) uint16 {
+	if l.isReg {
+		v := c.R[l.reg]
+		if l.reg == isa.PC {
+			// Register-mode PC reads observe the incremented PC
+			// (address after the opcode word), as on real silicon.
+			v = pc + 2
+		}
+		if byteOp {
+			v &= 0x00FF
+		}
+		return v
+	}
+	if byteOp {
+		return uint16(c.loadByte(pc, l.ea))
+	}
+	return c.loadWord(pc, l.ea)
+}
+
+// writeLoc writes v to the operand location. Byte writes to registers
+// clear the upper byte (architectural rule).
+func (c *CPU) writeLoc(pc uint16, l loc, byteOp bool, v uint16) {
+	if l.isReg {
+		if byteOp {
+			v &= 0x00FF
+		}
+		if l.reg == isa.SP {
+			v &^= 1 // SP is word-aligned in hardware
+		}
+		c.R[l.reg] = v
+		return
+	}
+	if byteOp {
+		c.storeByte(pc, l.ea, uint8(v))
+		return
+	}
+	c.storeWord(pc, l.ea, v)
+}
+
+// srcValue evaluates the source operand (handling immediates) and returns
+// its value.
+func (c *CPU) srcValue(pc uint16, in isa.Instruction) uint16 {
+	if in.Src.Mode == isa.ModeImmediate {
+		v := in.Src.X
+		if in.Byte {
+			v &= 0x00FF
+		}
+		return v
+	}
+	srcOff, srcHas, _, _ := in.ExtOffsets()
+	extAddr := pc
+	if srcHas {
+		extAddr = pc + uint16(srcOff)
+	}
+	l := c.resolve(pc, in.Src, extAddr, in.Byte)
+	return c.readLoc(pc, l, in.Byte)
+}
+
+// dstLoc resolves the destination operand location.
+func (c *CPU) dstLoc(pc uint16, in isa.Instruction) loc {
+	_, _, dstOff, dstHas := in.ExtOffsets()
+	extAddr := pc
+	if dstHas {
+		extAddr = pc + uint16(dstOff)
+	}
+	return c.resolve(pc, in.Dst, extAddr, in.Byte)
+}
+
+// --- flag computation ---------------------------------------------------
+
+func (c *CPU) setFlags(set, clear uint16) {
+	c.R[isa.SR] = c.R[isa.SR]&^clear | set
+}
+
+// nz computes N and Z for a result of the operation width.
+func nz(r uint16, byteOp bool) uint16 {
+	var f uint16
+	mask, sign := width(byteOp)
+	if r&mask == 0 {
+		f |= isa.FlagZ
+	}
+	if r&sign != 0 {
+		f |= isa.FlagN
+	}
+	return f
+}
+
+func width(byteOp bool) (mask, sign uint16) {
+	if byteOp {
+		return 0x00FF, 0x0080
+	}
+	return 0xFFFF, 0x8000
+}
+
+// addFlags computes C,Z,N,V for dst+src+carryIn at the given width, and
+// the result.
+func addFlags(src, dst uint16, carryIn uint16, byteOp bool) (r uint16, f uint16) {
+	mask, sign := width(byteOp)
+	src &= mask
+	dst &= mask
+	full := uint32(src) + uint32(dst) + uint32(carryIn)
+	r = uint16(full) & mask
+	f = nz(r, byteOp)
+	if full > uint32(mask) {
+		f |= isa.FlagC
+	}
+	if (src&sign) == (dst&sign) && (r&sign) != (src&sign) {
+		f |= isa.FlagV
+	}
+	return r, f
+}
+
+// dadd performs one BCD addition at the given width.
+func dadd(src, dst uint16, carryIn uint16, byteOp bool) (r uint16, f uint16) {
+	digits := 4
+	if byteOp {
+		digits = 2
+	}
+	carry := carryIn
+	var out uint16
+	for i := 0; i < digits; i++ {
+		d := (src>>(4*i))&0xF + (dst>>(4*i))&0xF + carry
+		carry = 0
+		if d > 9 {
+			d -= 10
+			carry = 1
+		}
+		out |= d << (4 * i)
+	}
+	f = nz(out, byteOp)
+	if carry != 0 {
+		f |= isa.FlagC
+	}
+	return out, f
+}
+
+// --- execution ----------------------------------------------------------
+
+// allFlags is the set of arithmetic flags instructions may update.
+const allFlags = isa.FlagC | isa.FlagZ | isa.FlagN | isa.FlagV
+
+func (c *CPU) execute(pc uint16, in isa.Instruction) error {
+	switch {
+	case in.Op.IsJump():
+		return c.execJump(pc, in)
+	case in.Op == isa.RETI:
+		sp := c.R[isa.SP]
+		c.R[isa.SR] = c.loadWord(pc, sp)
+		c.R[isa.PC] = c.loadWord(pc, sp+2)
+		c.R[isa.SP] = sp + 4
+		return nil
+	case in.Op.IsOneOperand():
+		return c.execFormat2(pc, in)
+	default:
+		return c.execFormat1(pc, in)
+	}
+}
+
+func (c *CPU) execJump(pc uint16, in isa.Instruction) error {
+	sr := c.R[isa.SR]
+	cf, zf, nf, vf := sr&isa.FlagC != 0, sr&isa.FlagZ != 0, sr&isa.FlagN != 0, sr&isa.FlagV != 0
+	take := false
+	switch in.Op {
+	case isa.JNE:
+		take = !zf
+	case isa.JEQ:
+		take = zf
+	case isa.JNC:
+		take = !cf
+	case isa.JC:
+		take = cf
+	case isa.JN:
+		take = nf
+	case isa.JGE:
+		take = nf == vf
+	case isa.JL:
+		take = nf != vf
+	case isa.JMP:
+		take = true
+	}
+	if take {
+		c.R[isa.PC] = pc + 2 + 2*uint16(in.JumpOffset)
+	}
+	return nil
+}
+
+func (c *CPU) execFormat2(pc uint16, in isa.Instruction) error {
+	// PUSH/CALL accept immediates; the others operate in place.
+	if in.Src.Mode == isa.ModeImmediate {
+		v := c.srcValue(pc, in)
+		switch in.Op {
+		case isa.PUSH:
+			if in.Byte {
+				c.R[isa.SP] -= 2
+				c.storeByte(pc, c.R[isa.SP], uint8(v))
+			} else {
+				c.push(pc, v)
+			}
+			return nil
+		case isa.CALL:
+			c.push(pc, c.R[isa.PC]) // return address: next instruction
+			c.R[isa.PC] = v
+			return nil
+		}
+		return fmt.Errorf("immediate operand for %v", in.Op)
+	}
+
+	srcOff, srcHas, _, _ := in.ExtOffsets()
+	extAddr := pc
+	if srcHas {
+		extAddr = pc + uint16(srcOff)
+	}
+	l := c.resolve(pc, in.Src, extAddr, in.Byte)
+	v := c.readLoc(pc, l, in.Byte)
+	_, sign := width(in.Byte)
+
+	switch in.Op {
+	case isa.RRC:
+		carryIn := uint16(0)
+		if c.Flag(isa.FlagC) {
+			carryIn = sign
+		}
+		r := v>>1 | carryIn
+		f := nz(r, in.Byte)
+		if v&1 != 0 {
+			f |= isa.FlagC
+		}
+		c.writeLoc(pc, l, in.Byte, r)
+		c.setFlags(f, allFlags)
+	case isa.RRA:
+		r := v>>1 | v&sign
+		f := nz(r, in.Byte)
+		if v&1 != 0 {
+			f |= isa.FlagC
+		}
+		c.writeLoc(pc, l, in.Byte, r)
+		c.setFlags(f, allFlags)
+	case isa.SWPB:
+		c.writeLoc(pc, l, false, v>>8|v<<8)
+	case isa.SXT:
+		r := v & 0x00FF
+		if r&0x0080 != 0 {
+			r |= 0xFF00
+		}
+		f := nz(r, false)
+		if r != 0 {
+			f |= isa.FlagC
+		}
+		c.writeLoc(pc, l, false, r)
+		c.setFlags(f, allFlags)
+	case isa.PUSH:
+		if in.Byte {
+			c.R[isa.SP] -= 2
+			c.storeByte(pc, c.R[isa.SP], uint8(v))
+		} else {
+			c.push(pc, v)
+		}
+	case isa.CALL:
+		c.push(pc, c.R[isa.PC])
+		c.R[isa.PC] = v
+	default:
+		return fmt.Errorf("unhandled format II opcode %v", in.Op)
+	}
+	return nil
+}
+
+func (c *CPU) execFormat1(pc uint16, in isa.Instruction) error {
+	src := c.srcValue(pc, in)
+	dl := c.dstLoc(pc, in)
+
+	// MOV/BIC/BIS don't need the old destination value for flags, but
+	// BIC/BIS need it for the operation itself.
+	var dst uint16
+	if in.Op != isa.MOV {
+		dst = c.readLoc(pc, dl, in.Byte)
+	}
+	mask, sign := width(in.Byte)
+	carry := uint16(0)
+	if c.Flag(isa.FlagC) {
+		carry = 1
+	}
+
+	switch in.Op {
+	case isa.MOV:
+		c.writeLoc(pc, dl, in.Byte, src)
+	case isa.ADD:
+		r, f := addFlags(src, dst, 0, in.Byte)
+		c.writeLoc(pc, dl, in.Byte, r)
+		c.setFlags(f, allFlags)
+	case isa.ADDC:
+		r, f := addFlags(src, dst, carry, in.Byte)
+		c.writeLoc(pc, dl, in.Byte, r)
+		c.setFlags(f, allFlags)
+	case isa.SUB:
+		r, f := addFlags(^src&mask, dst, 1, in.Byte)
+		c.writeLoc(pc, dl, in.Byte, r)
+		c.setFlags(f, allFlags)
+	case isa.SUBC:
+		r, f := addFlags(^src&mask, dst, carry, in.Byte)
+		c.writeLoc(pc, dl, in.Byte, r)
+		c.setFlags(f, allFlags)
+	case isa.CMP:
+		_, f := addFlags(^src&mask, dst, 1, in.Byte)
+		c.setFlags(f, allFlags)
+	case isa.DADD:
+		// V is architecturally undefined after DADD; we clear it.
+		r, f := dadd(src, dst, carry, in.Byte)
+		c.writeLoc(pc, dl, in.Byte, r)
+		c.setFlags(f, allFlags)
+	case isa.BIT:
+		r := src & dst & mask
+		f := nz(r, in.Byte)
+		if r != 0 {
+			f |= isa.FlagC
+		}
+		c.setFlags(f, allFlags)
+	case isa.BIC:
+		c.writeLoc(pc, dl, in.Byte, dst&^src)
+	case isa.BIS:
+		c.writeLoc(pc, dl, in.Byte, dst|src)
+	case isa.XOR:
+		r := (src ^ dst) & mask
+		f := nz(r, in.Byte)
+		if r != 0 {
+			f |= isa.FlagC
+		}
+		if src&sign != 0 && dst&sign != 0 {
+			f |= isa.FlagV
+		}
+		c.writeLoc(pc, dl, in.Byte, r)
+		c.setFlags(f, allFlags)
+	case isa.AND:
+		r := src & dst & mask
+		f := nz(r, in.Byte)
+		if r != 0 {
+			f |= isa.FlagC
+		}
+		c.writeLoc(pc, dl, in.Byte, r)
+		c.setFlags(f, allFlags)
+	default:
+		return fmt.Errorf("unhandled format I opcode %v", in.Op)
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"eilid/internal/core"
+	"eilid/internal/hwcost"
+)
+
+// TechniqueRow is one line of the paper's Table I (CFA and CFI techniques
+// from prior work).
+type TechniqueRow struct {
+	Method    string // CFI or CFA
+	Work      string
+	RealTime  bool
+	FwdEdge   bool
+	BackEdge  bool
+	Interrupt bool
+	Platform  string
+	Summary   string
+}
+
+// TableI returns the comparison matrix of paper Table I.
+func TableI() []TechniqueRow {
+	return []TechniqueRow{
+		{"CFI", "HAFIX", true, false, true, false, "Intel Siskiyou Peak", "Extends Intel ISA with shadow stack"},
+		{"CFI", "HCFI", true, true, true, false, "Leon3", "Extends Sparc V8 ISA with shadow stack and labels"},
+		{"CFI", "FIXER", true, true, true, false, "RocketChip", "Extends RISC-V ISA with shadow stack"},
+		{"CFI", "Silhouette", true, true, true, true, "ARMv7-M", "Uses ARM MPU for hardened shadow-stacks and labels"},
+		{"CFI", "CaRE", true, false, true, true, "ARMv8-M", "Uses ARM TrustZone for shadow stack & nested interrupts"},
+		{"CFA", "Tiny-CFA", false, true, true, false, "openMSP430", "Hybrid CFA with shadow stack"},
+		{"CFA", "ACFA", false, true, true, true, "openMSP430", "Active hybrid CFA with secure auditing of code"},
+		{"CFA", "LO-FAT", false, true, true, false, "Pulpino", "Hardware-based CFA solution"},
+		{"CFA", "CFA+", false, true, true, true, "ARMv8.5-A", "Leverages ARM's Branch Target Identification"},
+		{"CFI", "EILID", true, true, true, true, "openMSP430", "Uses CASU for shadow stack"},
+	}
+}
+
+// RenderTableI writes Table I.
+func RenderTableI(w io.Writer) {
+	fmt.Fprintln(w, "Table I: CFA and CFI techniques from prior work (RT: real-time protection)")
+	fmt.Fprintf(w, "%-6s %-11s %-3s %-3s %-3s %-4s %-20s %s\n", "Method", "Work", "RT", "F", "B", "Intr", "Platform", "Summary")
+	mark := func(b bool) string {
+		if b {
+			return "+"
+		}
+		return "-"
+	}
+	for _, r := range TableI() {
+		fmt.Fprintf(w, "%-6s %-11s %-3s %-3s %-3s %-4s %-20s %s\n",
+			r.Method, r.Work, mark(r.RealTime), mark(r.FwdEdge), mark(r.BackEdge),
+			mark(r.Interrupt), r.Platform, r.Summary)
+	}
+}
+
+// PlatformISA is one line of Table II (relevant instructions per
+// low-end platform).
+type PlatformISA struct {
+	Platform     string
+	Call         string
+	Return       string
+	RetInterrupt string
+	IndirectCall string
+}
+
+// TableII returns the instruction-set table.
+func TableII() []PlatformISA {
+	return []PlatformISA{
+		{"TI MSP430", "CALL", "RET", "RETI", "CALL"},
+		{"AVR ATMega32", "CALL", "RET", "RETI", "RCALL, ICALL"},
+		{"Microchip PIC16", "CALL", "RETURN", "RETFIE", "CALL, RCALL"},
+	}
+}
+
+// RenderTableII writes Table II.
+func RenderTableII(w io.Writer) {
+	fmt.Fprintln(w, "Table II: instruction set in low-end platforms")
+	fmt.Fprintf(w, "%-17s %-8s %-8s %-10s %s\n", "Platform", "Call", "Return", "Ret-intr", "Indirect call")
+	for _, r := range TableII() {
+		fmt.Fprintf(w, "%-17s %-8s %-8s %-10s %s\n", r.Platform, r.Call, r.Return, r.RetInterrupt, r.IndirectCall)
+	}
+}
+
+// RenderTableIII writes the reserved-register table from the live
+// configuration.
+func RenderTableIII(w io.Writer, cfg core.Config) {
+	fmt.Fprintln(w, "Table III: reserved registers for EILID")
+	rows := []struct {
+		reg  int
+		desc string
+	}{
+		{core.RegSelector, "selector argument of S_EILID dispatch (S_EILID_init and peers)"},
+		{core.RegIndex, "pointer to the shadow stack's current index"},
+		{core.RegArg0, "argument of the S_EILID functions"},
+		{core.RegArg1, "second argument (interrupt context status register)"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "r%-3d %s\n", r.reg, r.desc)
+	}
+}
+
+// RenderFigure10 writes the hardware-cost comparison with ASCII bars plus
+// this repository's own monitor estimate.
+func RenderFigure10(w io.Writer) {
+	data := hwcost.Figure10Data()
+	est := hwcost.Estimate()
+	baseLUTs, baseRegs := hwcost.BaselineOpenMSP430()
+
+	bar := func(v, max int) string {
+		n := v * 40 / max
+		if n < 1 {
+			n = 1
+		}
+		return strings.Repeat("#", n)
+	}
+	maxL, maxR := 0, 0
+	for _, s := range data {
+		if s.LUTs > maxL {
+			maxL = s.LUTs
+		}
+		if s.Registers > maxR {
+			maxR = s.Registers
+		}
+	}
+
+	fmt.Fprintln(w, "Figure 10a: additional LUTs over each scheme's baseline core")
+	for _, s := range data {
+		fmt.Fprintf(w, "%-9s %-5s %-20s %5d %-10s %s\n", s.Name, s.Class, s.Platform, s.LUTs, "("+s.Source+")", bar(s.LUTs, maxL))
+	}
+	fmt.Fprintf(w, "%-9s %-5s %-20s %5d %-10s %s\n", "this-repo", "CFI", "simulated monitor", est.LUTs, "(estimate)", bar(est.LUTs, maxL))
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Figure 10b: additional registers over each scheme's baseline core")
+	for _, s := range data {
+		fmt.Fprintf(w, "%-9s %-5s %-20s %5d %-10s %s\n", s.Name, s.Class, s.Platform, s.Registers, "("+s.Source+")", bar(s.Registers, maxR))
+	}
+	fmt.Fprintf(w, "%-9s %-5s %-20s %5d %-10s %s\n", "this-repo", "CFI", "simulated monitor", est.Registers, "(estimate)", bar(est.Registers, maxR))
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "openMSP430 baseline (implied by the paper's percentages): ~%d LUTs, ~%d registers\n", baseLUTs, baseRegs)
+	fmt.Fprintf(w, "EILID overhead per the paper: +99 LUTs (5.3%%), +34 registers (4.9%%)\n")
+	for _, n := range hwcost.MemoryFootnotes() {
+		fmt.Fprintln(w, "note:", n)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "estimator accounting for the simulated monitor:")
+	for _, n := range est.Notes() {
+		fmt.Fprintln(w, " ", n)
+	}
+}

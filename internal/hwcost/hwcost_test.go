@@ -1,0 +1,122 @@
+package hwcost
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimitiveSizing(t *testing.T) {
+	cases := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"eq 6-bit", lutsEq(6), 1},
+		{"eq 16-bit", lutsEq(16), 4}, // 3 compare LUTs + 1 AND
+		{"mag 16-bit", lutsMag(16), 8},
+		{"reduce 1", lutsReduce(1), 0},
+		{"reduce 6", lutsReduce(6), 1},
+		{"reduce 10", lutsReduce(10), 3}, // 2 + 1
+		{"ceil", ceilDiv(7, 2), 4},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestEstimateInEILIDClass(t *testing.T) {
+	n := Estimate()
+	// The estimate must land in the paper's class: tens-to-low-hundreds
+	// of LUTs and tens of registers — and far below the same-platform
+	// CFA alternatives (Tiny-CFA +302 LUTs, ACFA +501 LUTs / +946 FF).
+	if n.LUTs < 40 || n.LUTs > 302 {
+		t.Errorf("monitor estimate %d LUTs: outside the EILID class (paper: 99, must beat Tiny-CFA's 302)", n.LUTs)
+	}
+	if n.Registers < 4 || n.Registers > 44 {
+		t.Errorf("monitor estimate %d registers: outside the EILID class (paper: 34, must beat Tiny-CFA's 44)", n.Registers)
+	}
+	if len(n.Notes()) < 10 {
+		t.Errorf("expected a per-rule accounting, got %d entries", len(n.Notes()))
+	}
+	for _, note := range n.Notes() {
+		if !strings.Contains(note, "LUT") {
+			t.Errorf("malformed note %q", note)
+		}
+	}
+}
+
+func TestEstimateMonotoneInBusWidth(t *testing.T) {
+	f := func(extra uint8) bool {
+		w := 16 + int(extra%17)
+		a, b := MonitorEstimate(w), MonitorEstimate(w+1)
+		return b.LUTs >= a.LUTs && b.Registers >= a.Registers
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFigure10Data(t *testing.T) {
+	data := Figure10Data()
+	if len(data) != 7 {
+		t.Fatalf("Figure 10 has %d schemes, want 7", len(data))
+	}
+	byName := map[string]SchemeCost{}
+	for _, s := range data {
+		if s.Name == "" || s.Platform == "" || s.LUTs <= 0 || s.Registers <= 0 {
+			t.Errorf("incomplete entry %+v", s)
+		}
+		if s.Class != "CFI" && s.Class != "CFA" {
+			t.Errorf("%s: bad class %q", s.Name, s.Class)
+		}
+		byName[s.Name] = s
+	}
+	// The paper-stated values.
+	e := byName["EILID"]
+	if e.LUTs != 99 || e.Registers != 34 || e.PctLUTs != 5.3 || e.PctRegs != 4.9 {
+		t.Errorf("EILID row %+v does not match the paper", e)
+	}
+	if tc := byName["Tiny-CFA"]; tc.LUTs != 302 || tc.Registers != 44 {
+		t.Errorf("Tiny-CFA row %+v", tc)
+	}
+	if a := byName["ACFA"]; a.LUTs != 501 || a.Registers != 946 {
+		t.Errorf("ACFA row %+v", a)
+	}
+	// The figure's headline relations: EILID is the cheapest overall and
+	// cheapest on its own platform.
+	for _, s := range data {
+		if s.Name == "EILID" {
+			continue
+		}
+		if s.LUTs <= e.LUTs {
+			t.Errorf("%s has %d LUTs <= EILID's %d: breaks the figure's claim", s.Name, s.LUTs, e.LUTs)
+		}
+		if s.Registers <= e.Registers {
+			t.Errorf("%s has %d registers <= EILID's %d", s.Name, s.Registers, e.Registers)
+		}
+	}
+}
+
+func TestBaselineImpliedByPercentages(t *testing.T) {
+	luts, regs := BaselineOpenMSP430()
+	// 99/5.3% and 34/4.9% imply the baseline sizes within rounding.
+	if pct := 100 * 99.0 / float64(luts); pct < 5.0 || pct > 5.6 {
+		t.Errorf("baseline %d LUTs gives %.2f%%, want ~5.3%%", luts, pct)
+	}
+	if pct := 100 * 34.0 / float64(regs); pct < 4.6 || pct > 5.2 {
+		t.Errorf("baseline %d regs gives %.2f%%, want ~4.9%%", regs, pct)
+	}
+}
+
+func TestMemoryFootnotes(t *testing.T) {
+	notes := MemoryFootnotes()
+	if len(notes) != 3 {
+		t.Fatalf("footnotes = %d", len(notes))
+	}
+	if !strings.Contains(notes[0], "216KB") || !strings.Contains(notes[1], "158KB") {
+		t.Error("LO-FAT/LiteHAX RAM figures missing")
+	}
+}

@@ -1,0 +1,85 @@
+package isa
+
+// Cycle accounting follows the classic MSP430 CPU table (TI SLAU144,
+// tables 3-14/3-15), which is what the openMSP430 core implements. The
+// constant-generator immediates cost register-mode time because they need
+// no extension-word fetch.
+
+// Interrupt latency constants.
+const (
+	CyclesInterruptEntry = 6 // accept IRQ: push PC, push SR, fetch vector
+	CyclesReti           = 5
+	CyclesJump           = 2 // all format III jumps, taken or not
+)
+
+// srcCat classifies a source operand for the cycle matrix.
+func srcCat(o Operand, byteOp bool) int {
+	switch o.Mode {
+	case ModeRegister:
+		return 0
+	case ModeIndirect:
+		return 1
+	case ModeIndirectInc:
+		return 2
+	case ModeImmediate:
+		if _, ok := constGen(o.X, byteOp); ok && !o.NoCG {
+			return 0 // constant generator: register timing
+		}
+		return 3
+	default: // indexed, symbolic, absolute
+		return 4
+	}
+}
+
+// fmt1Cycles[srcCat][dstCat] with dstCat 0=Rn, 1=PC, 2=memory.
+var fmt1Cycles = [5][3]int{
+	{1, 2, 4}, // src Rn / constant generator
+	{2, 2, 5}, // src @Rn
+	{2, 3, 5}, // src @Rn+
+	{2, 3, 5}, // src #N (extension word)
+	{3, 3, 6}, // src x(Rn) / EDE / &EDE
+}
+
+// Cycles returns the execution time of the instruction in CPU clock
+// cycles (MCLK), assuming zero-wait-state memory as on openMSP430.
+func Cycles(in Instruction) int {
+	switch {
+	case in.Op.IsJump():
+		return CyclesJump
+	case in.Op == RETI:
+		return CyclesReti
+	case in.Op.IsOneOperand():
+		return fmt2CycleCount(in)
+	default:
+		s := srcCat(in.Src, in.Byte)
+		var d int
+		switch {
+		case in.Dst.Mode == ModeRegister && in.Dst.Reg == PC:
+			d = 1
+		case in.Dst.Mode == ModeRegister:
+			d = 0
+		default:
+			d = 2
+		}
+		return fmt1Cycles[s][d]
+	}
+}
+
+func fmt2CycleCount(in Instruction) int {
+	cat := srcCat(in.Src, in.Byte)
+	switch in.Op {
+	case RRA, RRC, SWPB, SXT:
+		// Rn:1 @Rn:3 @Rn+:3 x/EDE/&:4 (no immediate form)
+		return [5]int{1, 3, 3, 3, 4}[cat]
+	case PUSH:
+		// Rn:3 @Rn:4 @Rn+:5 #N:4 x/EDE/&:5
+		return [5]int{3, 4, 5, 4, 5}[cat]
+	case CALL:
+		// Rn:4 @Rn:4 @Rn+:5 #N:5 x/EDE:5 &EDE:6
+		if in.Src.Mode == ModeAbsolute {
+			return 6
+		}
+		return [5]int{4, 4, 5, 5, 5}[cat]
+	}
+	return 1
+}

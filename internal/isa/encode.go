@@ -1,0 +1,128 @@
+package isa
+
+import "fmt"
+
+// Format I opcode nibbles (bits 15..12).
+var fmt1Nibble = map[Opcode]uint16{
+	MOV: 0x4, ADD: 0x5, ADDC: 0x6, SUBC: 0x7, SUB: 0x8, CMP: 0x9,
+	DADD: 0xA, BIT: 0xB, BIC: 0xC, BIS: 0xD, XOR: 0xE, AND: 0xF,
+}
+
+// Format II opcode field (bits 9..7) under the 000100 prefix.
+var fmt2Field = map[Opcode]uint16{
+	RRC: 0, SWPB: 1, RRA: 2, SXT: 3, PUSH: 4, CALL: 5, RETI: 6,
+}
+
+// Format III condition field (bits 12..10).
+var jumpCond = map[Opcode]uint16{
+	JNE: 0, JEQ: 1, JNC: 2, JC: 3, JN: 4, JGE: 5, JL: 6, JMP: 7,
+}
+
+// srcEnc is the lowered bit-level form of a source operand.
+type srcEnc struct {
+	reg    Reg
+	as     uint16
+	ext    uint16
+	hasExt bool
+}
+
+// lowerSrc maps an Operand to register/As bits plus an optional extension
+// word, applying the constant generators for eligible immediates.
+func lowerSrc(o Operand, byteOp bool) (srcEnc, error) {
+	switch o.Mode {
+	case ModeRegister:
+		return srcEnc{reg: o.Reg, as: 0}, nil
+	case ModeIndexed:
+		return srcEnc{reg: o.Reg, as: 1, ext: o.X, hasExt: true}, nil
+	case ModeSymbolic:
+		return srcEnc{reg: PC, as: 1, ext: o.X, hasExt: true}, nil
+	case ModeAbsolute:
+		return srcEnc{reg: SR, as: 1, ext: o.X, hasExt: true}, nil
+	case ModeIndirect:
+		return srcEnc{reg: o.Reg, as: 2}, nil
+	case ModeIndirectInc:
+		return srcEnc{reg: o.Reg, as: 3}, nil
+	case ModeImmediate:
+		if cg, ok := constGen(o.X, byteOp); ok && !o.NoCG {
+			return srcEnc{reg: cg.Reg, as: cg.As}, nil
+		}
+		return srcEnc{reg: PC, as: 3, ext: o.X, hasExt: true}, nil
+	}
+	return srcEnc{}, fmt.Errorf("isa: cannot encode source operand %v", o)
+}
+
+// lowerDst maps an Operand to register/Ad bits plus an optional extension
+// word.
+func lowerDst(o Operand) (reg Reg, ad uint16, ext uint16, hasExt bool, err error) {
+	switch o.Mode {
+	case ModeRegister:
+		return o.Reg, 0, 0, false, nil
+	case ModeIndexed:
+		return o.Reg, 1, o.X, true, nil
+	case ModeSymbolic:
+		return PC, 1, o.X, true, nil
+	case ModeAbsolute:
+		return SR, 1, o.X, true, nil
+	}
+	return 0, 0, 0, false, fmt.Errorf("isa: cannot encode destination operand %v", o)
+}
+
+// Encode lowers the instruction to its 16-bit word sequence (1 to 3 words:
+// opcode word, then source extension, then destination extension).
+func Encode(in Instruction) ([]uint16, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	bw := uint16(0)
+	if in.Byte {
+		bw = 1
+	}
+	switch {
+	case in.Op.IsJump():
+		off := uint16(in.JumpOffset) & 0x03FF
+		return []uint16{0x2000 | jumpCond[in.Op]<<10 | off}, nil
+
+	case in.Op == RETI:
+		return []uint16{0x1300}, nil
+
+	case in.Op.IsOneOperand():
+		s, err := lowerSrc(in.Src, in.Byte)
+		if err != nil {
+			return nil, err
+		}
+		w := 0x1000 | fmt2Field[in.Op]<<7 | bw<<6 | s.as<<4 | uint16(s.reg)
+		if s.hasExt {
+			return []uint16{w, s.ext}, nil
+		}
+		return []uint16{w}, nil
+
+	default: // format I
+		s, err := lowerSrc(in.Src, in.Byte)
+		if err != nil {
+			return nil, err
+		}
+		dreg, ad, dext, dHasExt, err := lowerDst(in.Dst)
+		if err != nil {
+			return nil, err
+		}
+		w := fmt1Nibble[in.Op]<<12 | uint16(s.reg)<<8 | ad<<7 | bw<<6 | s.as<<4 | uint16(dreg)
+		words := []uint16{w}
+		if s.hasExt {
+			words = append(words, s.ext)
+		}
+		if dHasExt {
+			words = append(words, dext)
+		}
+		return words, nil
+	}
+}
+
+// MustEncode is Encode for statically known-good instructions; it panics
+// on error and is intended for generated code paths (trampolines, EILIDsw).
+func MustEncode(in Instruction) []uint16 {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

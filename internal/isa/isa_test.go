@@ -1,0 +1,429 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := map[Reg]string{PC: "pc", SP: "sp", SR: "sr", CG: "r3", 4: "r4", 15: "r15"}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Reg(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestOpcodeClasses(t *testing.T) {
+	for op := MOV; op < numOpcodes; op++ {
+		n := 0
+		if op.IsTwoOperand() {
+			n++
+		}
+		if op.IsOneOperand() {
+			n++
+		}
+		if op.IsJump() {
+			n++
+		}
+		if n != 1 {
+			t.Errorf("%v belongs to %d format classes, want exactly 1", op, n)
+		}
+	}
+}
+
+func TestEncodeKnownInstructions(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Instruction
+		want []uint16
+	}{
+		{"mov r5, r6", Instruction{Op: MOV, Src: RegOp(5), Dst: RegOp(6)}, []uint16{0x4506}},
+		{"mov #0x1234, r10", Instruction{Op: MOV, Src: Imm(0x1234), Dst: RegOp(10)}, []uint16{0x403A, 0x1234}},
+		{"mov #0, r10 (CG)", Instruction{Op: MOV, Src: Imm(0), Dst: RegOp(10)}, []uint16{0x430A}},
+		{"mov #1, r10 (CG)", Instruction{Op: MOV, Src: Imm(1), Dst: RegOp(10)}, []uint16{0x431A}},
+		{"mov #2, r10 (CG)", Instruction{Op: MOV, Src: Imm(2), Dst: RegOp(10)}, []uint16{0x432A}},
+		{"mov #-1, r10 (CG)", Instruction{Op: MOV, Src: Imm(0xFFFF), Dst: RegOp(10)}, []uint16{0x433A}},
+		{"mov #4, r10 (CG)", Instruction{Op: MOV, Src: Imm(4), Dst: RegOp(10)}, []uint16{0x422A}},
+		{"mov #8, r10 (CG)", Instruction{Op: MOV, Src: Imm(8), Dst: RegOp(10)}, []uint16{0x423A}},
+		{"mov &0x0200, r15", Instruction{Op: MOV, Src: Abs(0x0200), Dst: RegOp(15)}, []uint16{0x421F, 0x0200}},
+		{"mov r15, &0x0200", Instruction{Op: MOV, Src: RegOp(15), Dst: Abs(0x0200)}, []uint16{0x4F82, 0x0200}},
+		{"mov 4(r4), r5", Instruction{Op: MOV, Src: Indexed(4, 4), Dst: RegOp(5)}, []uint16{0x4415, 0x0004}},
+		{"mov r5, 6(r4)", Instruction{Op: MOV, Src: RegOp(5), Dst: Indexed(6, 4)}, []uint16{0x4584, 0x0006}},
+		{"mov @r4, r5", Instruction{Op: MOV, Src: Indirect(4), Dst: RegOp(5)}, []uint16{0x4425}},
+		{"mov @r4+, r5", Instruction{Op: MOV, Src: IndirectInc(4), Dst: RegOp(5)}, []uint16{0x4435}},
+		{"ret (mov @sp+, pc)", Instruction{Op: MOV, Src: IndirectInc(SP), Dst: RegOp(PC)}, []uint16{0x4130}},
+		{"add r5, r6", Instruction{Op: ADD, Src: RegOp(5), Dst: RegOp(6)}, []uint16{0x5506}},
+		{"add.b r5, r6", Instruction{Op: ADD, Byte: true, Src: RegOp(5), Dst: RegOp(6)}, []uint16{0x5546}},
+		{"cmp #5, r9", Instruction{Op: CMP, Src: Imm(5), Dst: RegOp(9)}, []uint16{0x9039, 0x0005}},
+		{"and #0x0f, r5", Instruction{Op: AND, Src: Imm(0xF), Dst: RegOp(5)}, []uint16{0xF035, 0x000F}},
+		{"xor r8, r8", Instruction{Op: XOR, Src: RegOp(8), Dst: RegOp(8)}, []uint16{0xE808}},
+		{"push r11", Instruction{Op: PUSH, Src: RegOp(11)}, []uint16{0x120B}},
+		{"push #0x1234", Instruction{Op: PUSH, Src: Imm(0x1234)}, []uint16{0x1230, 0x1234}},
+		{"call #0xe000", Instruction{Op: CALL, Src: Imm(0xE000)}, []uint16{0x12B0, 0xE000}},
+		{"call r13", Instruction{Op: CALL, Src: RegOp(13)}, []uint16{0x128D}},
+		{"swpb r5", Instruction{Op: SWPB, Src: RegOp(5)}, []uint16{0x1085}},
+		{"sxt r5", Instruction{Op: SXT, Src: RegOp(5)}, []uint16{0x1185}},
+		{"rra r5", Instruction{Op: RRA, Src: RegOp(5)}, []uint16{0x1105}},
+		{"rrc r5", Instruction{Op: RRC, Src: RegOp(5)}, []uint16{0x1005}},
+		{"reti", Instruction{Op: RETI}, []uint16{0x1300}},
+		{"jmp +4", Instruction{Op: JMP, JumpOffset: 1}, []uint16{0x3C01}},
+		{"jz -2 (self)", Instruction{Op: JEQ, JumpOffset: -1}, []uint16{0x27FF}},
+		{"jne +0", Instruction{Op: JNE, JumpOffset: 0}, []uint16{0x2000}},
+	}
+	for _, c := range cases {
+		got, err := Encode(c.in)
+		if err != nil {
+			t.Errorf("%s: encode error: %v", c.name, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("%s: got %d words %v, want %v", c.name, len(got), got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: word %d = 0x%04x, want 0x%04x", c.name, i, got[i], c.want[i])
+			}
+		}
+		if got := c.in.Words(); got != len(c.want) {
+			t.Errorf("%s: Words() = %d, want %d", c.name, got, len(c.want))
+		}
+	}
+}
+
+func TestDecodeKnownWords(t *testing.T) {
+	// Spot-check decoding against independent encodings.
+	in, n, err := Decode([]uint16{0x4130})
+	if err != nil || n != 1 {
+		t.Fatalf("decode ret: %v n=%d", err, n)
+	}
+	if in.Op != MOV || in.Src.Mode != ModeIndirectInc || in.Src.Reg != SP || in.Dst != RegOp(PC) {
+		t.Errorf("decode 0x4130 = %+v, want mov @sp+, pc", in)
+	}
+
+	in, n, err = Decode([]uint16{0x12B0, 0xF800})
+	if err != nil || n != 2 {
+		t.Fatalf("decode call: %v n=%d", err, n)
+	}
+	if in.Op != CALL || in.Src.Mode != ModeImmediate || in.Src.X != 0xF800 {
+		t.Errorf("decode call #0xf800 = %+v", in)
+	}
+
+	if _, _, err := Decode([]uint16{0x0000}); err == nil {
+		t.Error("decode of 0x0000 should fail (reserved)")
+	}
+	if _, _, err := Decode([]uint16{0x403A}); err == nil {
+		t.Error("decode of truncated immediate should fail")
+	}
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("decode of empty slice should fail")
+	}
+	if _, _, err := Decode([]uint16{0x1380}); err == nil {
+		t.Error("decode of reserved format II field should fail")
+	}
+}
+
+func TestConstGeneratorByteForms(t *testing.T) {
+	// cmp.b #-1 should use the constant generator via 0x00FF.
+	in := Instruction{Op: CMP, Byte: true, Src: Imm(0x00FF), Dst: RegOp(5)}
+	w, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 1 {
+		t.Fatalf("cmp.b #0xff should use CG, got %d words", len(w))
+	}
+	back, _, err := Decode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Src.X != 0x00FF {
+		t.Errorf("byte CG -1 decodes to 0x%04x, want 0x00ff", back.Src.X)
+	}
+	// Word-mode 0x00FF must NOT use the constant generator.
+	in = Instruction{Op: CMP, Src: Imm(0x00FF), Dst: RegOp(5)}
+	w, err = Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 2 {
+		t.Fatalf("cmp #0x00ff should need an extension word, got %d words", len(w))
+	}
+	// Byte-mode 0xFFFF must not canonicalize to the CG (round-trip safety).
+	in = Instruction{Op: CMP, Byte: true, Src: Imm(0xFFFF), Dst: RegOp(5)}
+	w, err = Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 2 {
+		t.Fatalf("cmp.b #0xffff should keep extension word, got %d words", len(w))
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := []Instruction{
+		{Op: JMP, JumpOffset: 512},
+		{Op: JMP, JumpOffset: -513},
+		{Op: SXT, Byte: true, Src: RegOp(5)},
+		{Op: SWPB, Byte: true, Src: RegOp(5)},
+		{Op: CALL, Byte: true, Src: RegOp(5)},
+		{Op: RRA, Src: Imm(4)},
+		{Op: MOV, Src: RegOp(CG), Dst: RegOp(5)},
+		{Op: MOV, Src: Indexed(2, SR), Dst: RegOp(5)},
+		{Op: MOV, Src: Indirect(PC), Dst: RegOp(5)},
+		{Op: MOV, Src: RegOp(5), Dst: Indirect(6).asDst()},
+		{Op: MOV, Src: RegOp(5), Dst: Indexed(2, PC)},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("case %d (%+v): Validate() accepted invalid instruction", i, in)
+		}
+	}
+}
+
+// asDst reinterprets an operand for the destination-validity test above.
+func (o Operand) asDst() Operand { return o }
+
+func TestCycleCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Instruction
+		want int
+	}{
+		{"mov r5, r6", Instruction{Op: MOV, Src: RegOp(5), Dst: RegOp(6)}, 1},
+		{"mov r5, pc", Instruction{Op: MOV, Src: RegOp(5), Dst: RegOp(PC)}, 2},
+		{"mov #0, r6 (CG)", Instruction{Op: MOV, Src: Imm(0), Dst: RegOp(6)}, 1},
+		{"mov #0x1234, r6", Instruction{Op: MOV, Src: Imm(0x1234), Dst: RegOp(6)}, 2},
+		{"mov #0x1234, pc (br)", Instruction{Op: MOV, Src: Imm(0x1234), Dst: RegOp(PC)}, 3},
+		{"mov @r4, r5", Instruction{Op: MOV, Src: Indirect(4), Dst: RegOp(5)}, 2},
+		{"ret", Instruction{Op: MOV, Src: IndirectInc(SP), Dst: RegOp(PC)}, 3},
+		{"mov 2(r4), r5", Instruction{Op: MOV, Src: Indexed(2, 4), Dst: RegOp(5)}, 3},
+		{"mov &x, r5", Instruction{Op: MOV, Src: Abs(0x200), Dst: RegOp(5)}, 3},
+		{"mov r5, &x", Instruction{Op: MOV, Src: RegOp(5), Dst: Abs(0x200)}, 4},
+		{"mov #5, &x", Instruction{Op: MOV, Src: Imm(5), Dst: Abs(0x200)}, 5},
+		{"mov &x, &y", Instruction{Op: MOV, Src: Abs(0x200), Dst: Abs(0x202)}, 6},
+		{"push r5", Instruction{Op: PUSH, Src: RegOp(5)}, 3},
+		{"push #0x1234", Instruction{Op: PUSH, Src: Imm(0x1234)}, 4},
+		{"call #f", Instruction{Op: CALL, Src: Imm(0xE000)}, 5},
+		{"call r13", Instruction{Op: CALL, Src: RegOp(13)}, 4},
+		{"call &v", Instruction{Op: CALL, Src: Abs(0xFFFE)}, 6},
+		{"rra r5", Instruction{Op: RRA, Src: RegOp(5)}, 1},
+		{"rra &x", Instruction{Op: RRA, Src: Abs(0x200)}, 4},
+		{"reti", Instruction{Op: RETI}, 5},
+		{"jmp", Instruction{Op: JMP, JumpOffset: 3}, 2},
+		{"jne", Instruction{Op: JNE, JumpOffset: -3}, 2},
+	}
+	for _, c := range cases {
+		if got := Cycles(c.in); got != c.want {
+			t.Errorf("%s: Cycles = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDisassembleAliases(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: MOV, Src: IndirectInc(SP), Dst: RegOp(PC)}, "ret"},
+		{Instruction{Op: MOV, Src: IndirectInc(SP), Dst: RegOp(11)}, "pop r11"},
+		{Instruction{Op: MOV, Src: Imm(0), Dst: RegOp(CG)}, "nop"},
+		{Instruction{Op: MOV, Src: Imm(0), Dst: RegOp(9)}, "clr r9"},
+		{Instruction{Op: ADD, Src: Imm(1), Dst: RegOp(9)}, "inc r9"},
+		{Instruction{Op: ADD, Src: Imm(2), Dst: RegOp(9)}, "incd r9"},
+		{Instruction{Op: SUB, Src: Imm(1), Dst: RegOp(9)}, "dec r9"},
+		{Instruction{Op: CMP, Src: Imm(0), Dst: RegOp(9)}, "tst r9"},
+		{Instruction{Op: BIS, Src: Imm(FlagGIE), Dst: RegOp(SR)}, "eint"},
+		{Instruction{Op: BIC, Src: Imm(FlagGIE), Dst: RegOp(SR)}, "dint"},
+		{Instruction{Op: MOV, Src: Imm(0xE000), Dst: RegOp(PC)}, "br #0xe000"},
+		{Instruction{Op: CALL, Src: Imm(0xE000)}, "call #0xe000"},
+		{Instruction{Op: JMP, JumpOffset: 1}, "jmp $+4"},
+	}
+	for _, c := range cases {
+		if got := Disassemble(c.in); got != c.want {
+			t.Errorf("Disassemble(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// randomInstruction generates a structurally valid random instruction for
+// the round-trip property.
+func randomInstruction(r *rand.Rand) Instruction {
+	genReg := func(dst bool) Reg {
+		for {
+			reg := Reg(r.Intn(NumRegs))
+			if reg == CG || reg == SR || (dst && reg == PC) {
+				continue
+			}
+			return reg
+		}
+	}
+	genOperand := func(dst bool) Operand {
+		for {
+			m := AddrMode(r.Intn(int(ModeSymbolic) + 1))
+			switch m {
+			case ModeRegister:
+				return RegOp(genReg(false))
+			case ModeIndexed:
+				return Indexed(uint16(r.Uint32()), genReg(true))
+			case ModeAbsolute:
+				return Abs(uint16(r.Uint32()))
+			case ModeSymbolic:
+				return Operand{Mode: ModeSymbolic, Reg: PC, X: uint16(r.Uint32())}
+			case ModeIndirect:
+				if dst {
+					continue
+				}
+				return Indirect(genReg(true))
+			case ModeIndirectInc:
+				if dst {
+					continue
+				}
+				return IndirectInc(genReg(true))
+			case ModeImmediate:
+				if dst {
+					continue
+				}
+				return Imm(uint16(r.Uint32()))
+			}
+		}
+	}
+	op := Opcode(r.Intn(int(numOpcodes)))
+	in := Instruction{Op: op}
+	switch {
+	case op.IsJump():
+		in.JumpOffset = int16(r.Intn(1024) - 512)
+	case op == RETI:
+	case op.IsOneOperand():
+		in.Byte = r.Intn(2) == 0 && op != SWPB && op != SXT && op != CALL
+		for {
+			in.Src = genOperand(false)
+			if (op == PUSH || op == CALL) || in.Src.Mode != ModeImmediate {
+				break
+			}
+		}
+	default:
+		in.Byte = r.Intn(2) == 0
+		in.Src = genOperand(false)
+		in.Dst = genOperand(true)
+	}
+	// Canonicalize byte immediates that would hit the CG asymmetry: the
+	// encoder treats word -1 as CG only in word mode, so a byte op with
+	// X=0xFFFF keeps its extension word and round-trips as-is.
+	return in
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		in := randomInstruction(r)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("generator produced invalid instruction %+v: %v", in, err)
+		}
+		words, err := Encode(in)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", in, err)
+		}
+		back, n, err := Decode(words)
+		if err != nil {
+			t.Fatalf("decode of %v (from %+v): %v", words, in, err)
+		}
+		if n != len(words) {
+			t.Fatalf("decode consumed %d words, encoded %d (%+v)", n, len(words), in)
+		}
+		if back != in {
+			t.Fatalf("round-trip mismatch:\n in: %+v\nout: %+v\nwords: %v", in, back, words)
+		}
+	}
+}
+
+func TestDecodeEncodeRoundTripProperty(t *testing.T) {
+	// Any word sequence that decodes must re-encode to the same words
+	// (decode is a partial inverse of encode over its image).
+	f := func(w0, w1, w2 uint16) bool {
+		words := []uint16{w0, w1, w2}
+		in, n, err := Decode(words)
+		if err != nil {
+			return true // not decodable: fine
+		}
+		re, err := Encode(in)
+		if err != nil {
+			// Decoded forms must always be encodable unless they use
+			// register quirks we reject (e.g. actual r2/r3 register
+			// operands); those are legal hardware forms we canonicalize.
+			return in.Validate() != nil
+		}
+		if len(re) != n {
+			return false
+		}
+		for i := range re {
+			if re[i] != words[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordsMatchesEncodeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		in := randomInstruction(r)
+		words, err := Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Words() != len(words) {
+			t.Fatalf("Words()=%d but Encode produced %d for %+v", in.Words(), len(words), in)
+		}
+		if in.Size() != uint16(2*len(words)) {
+			t.Fatalf("Size()=%d but Encode produced %d bytes", in.Size(), 2*len(words))
+		}
+	}
+}
+
+func TestCyclesPositiveProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		in := randomInstruction(r)
+		c := Cycles(in)
+		if c < 1 || c > 6 {
+			t.Fatalf("Cycles(%+v) = %d, outside [1,6]", in, c)
+		}
+	}
+}
+
+func TestNoCGImmediateRoundTrip(t *testing.T) {
+	// A forced-extension immediate of a CG-eligible value must encode
+	// with the extension word and decode back to the NoCG form.
+	in := Instruction{Op: MOV, Src: ImmExt(0), Dst: RegOp(5)}
+	w, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 2 {
+		t.Fatalf("forced-ext #0 encoded in %d words, want 2", len(w))
+	}
+	back, n, err := Decode(w)
+	if err != nil || n != 2 {
+		t.Fatalf("decode: %v n=%d", err, n)
+	}
+	if !back.Src.NoCG || back.Src.X != 0 {
+		t.Errorf("decoded operand %+v, want NoCG immediate 0", back.Src)
+	}
+	if back != in {
+		t.Errorf("round trip mismatch: %+v vs %+v", back, in)
+	}
+	// And the cycle model must charge extension-word timing.
+	if got := Cycles(in); got != 2 {
+		t.Errorf("Cycles(mov #0(ext), r5) = %d, want 2", got)
+	}
+	if got := Cycles(Instruction{Op: MOV, Src: Imm(0), Dst: RegOp(5)}); got != 1 {
+		t.Errorf("Cycles(mov #0(cg), r5) = %d, want 1", got)
+	}
+}

@@ -1,0 +1,664 @@
+// Package periph provides the memory-mapped peripherals of the simulated
+// openMSP430 device: GPIO ports, a Timer_A-style timer, an ADC with
+// pluggable sensor models, a UART, an HD44780-style character LCD, an
+// ultrasonic-ranger front-end and the interrupt controller. These are the
+// devices the paper's seven benchmark applications talk to (Seeed Grove
+// sensors, the OpenSyringePump stepper, the ticepd msp430-examples).
+//
+// All peripherals are deterministic: sensor models are fixed functions of
+// the sample index, so two runs of the same firmware produce identical
+// traces — a property the original-vs-instrumented equivalence tests in
+// internal/core rely on.
+package periph
+
+import "fmt"
+
+// Register addresses (inside the peripheral window 0x0000-0x01FF of
+// mem.DefaultLayout).
+const (
+	// GPIO port 1 (byte registers).
+	P1INAddr  = 0x0020
+	P1OUTAddr = 0x0021
+	P1DIRAddr = 0x0022
+	P1IFGAddr = 0x0023
+	P1IEAddr  = 0x0024
+	// GPIO port 2.
+	P2INAddr  = 0x0028
+	P2OUTAddr = 0x0029
+	P2DIRAddr = 0x002A
+	P2IFGAddr = 0x002B
+	P2IEAddr  = 0x002C
+
+	// UART.
+	UTXAddr   = 0x0070 // write: transmit byte
+	URXAddr   = 0x0072 // read: next received byte
+	USTATAddr = 0x0074 // bit0: rx available, bit1: tx ready (always)
+
+	// ADC.
+	ADCCTLAddr = 0x0080 // bit0: start; bits 8..11: channel; bit4: IE
+	ADCMEMAddr = 0x0082 // conversion result
+	ADCSTAGES  = 0x0084 // bit0: conversion done
+
+	// LCD controller.
+	LCDCMDAddr  = 0x0090
+	LCDDATAAddr = 0x0092
+
+	// Ultrasonic ranger front-end.
+	USTRIGAddr  = 0x00A0 // write: start a ping
+	USWIDTHAddr = 0x00A2 // echo width in microseconds (valid when done)
+	USSTATAddr  = 0x00A4 // bit0: measurement done
+
+	// EILID violation latch (secure peripheral: only EILIDsw may write;
+	// the CASU monitor enforces that and resets on any write).
+	ViolationAddr = 0x00F0
+)
+
+// Interrupt lines (vector = 0xFFE0 + 2*line). Line 15 is reset.
+const (
+	IRQPort1      = 4
+	IRQADC        = 5
+	IRQUltrasonic = 6
+	IRQUART       = 7
+	IRQTimerA     = 8
+)
+
+// Ticker is implemented by peripherals that advance with CPU cycles.
+type Ticker interface {
+	Tick(cycles int)
+}
+
+// IRQController collects interrupt requests from peripherals and feeds
+// the CPU core (it implements cpu.IRQSource).
+type IRQController struct {
+	pending uint16
+}
+
+// Request asserts an interrupt line.
+func (q *IRQController) Request(line int) {
+	if line >= 0 && line < 16 {
+		q.pending |= 1 << line
+	}
+}
+
+// HighestPending returns the highest pending line number or -1.
+func (q *IRQController) HighestPending() int {
+	for line := 15; line >= 0; line-- {
+		if q.pending&(1<<line) != 0 {
+			return line
+		}
+	}
+	return -1
+}
+
+// Acknowledge clears a pending line.
+func (q *IRQController) Acknowledge(line int) {
+	q.pending &^= 1 << line
+}
+
+// Pending reports whether the line is asserted.
+func (q *IRQController) Pending(line int) bool { return q.pending&(1<<line) != 0 }
+
+// Reset clears all pending requests.
+func (q *IRQController) Reset() { q.pending = 0 }
+
+// --- GPIO ----------------------------------------------------------------
+
+// OutputEvent records a GPIO output transition for test assertions.
+type OutputEvent struct {
+	Cycle uint64
+	Value uint8
+}
+
+// GPIO is an 8-bit port with direction, input, output and edge-interrupt
+// flags (P1-style).
+type GPIO struct {
+	Base uint16 // address of the IN register
+	IRQ  *IRQController
+	Line int
+
+	In, Out, Dir, IFG, IE uint8
+
+	// Clock supplies the current cycle count for output-event timestamps
+	// (wired to the CPU's cycle counter by the machine).
+	Clock func() uint64
+	// Events is the recorded output-transition history.
+	Events []OutputEvent
+}
+
+// NewGPIO creates a port at base (IN register address).
+func NewGPIO(base uint16, irq *IRQController, line int) *GPIO {
+	return &GPIO{Base: base, IRQ: irq, Line: line, Clock: func() uint64 { return 0 }}
+}
+
+// SetInput drives the port's input pins from the outside world, latching
+// edge interrupts for newly risen bits that are enabled.
+func (g *GPIO) SetInput(v uint8) {
+	rising := v &^ g.In
+	g.In = v
+	if fired := rising & g.IE; fired != 0 {
+		g.IFG |= fired
+		if g.IRQ != nil {
+			g.IRQ.Request(g.Line)
+		}
+	}
+}
+
+// LoadByte implements mem.ByteHandler.
+func (g *GPIO) LoadByte(addr uint16) uint8 {
+	switch addr - g.Base {
+	case 0:
+		return g.In
+	case 1:
+		return g.Out
+	case 2:
+		return g.Dir
+	case 3:
+		return g.IFG
+	case 4:
+		return g.IE
+	}
+	return 0
+}
+
+// StoreByte implements mem.ByteHandler.
+func (g *GPIO) StoreByte(addr uint16, v uint8) {
+	switch addr - g.Base {
+	case 0: // IN is read-only
+	case 1:
+		if g.Out != v {
+			g.Out = v
+			g.Events = append(g.Events, OutputEvent{Cycle: g.Clock(), Value: v})
+		}
+	case 2:
+		g.Dir = v
+	case 3:
+		g.IFG = v
+	case 4:
+		g.IE = v
+	}
+}
+
+// LoadWord implements mem.Handler by pairing byte registers.
+func (g *GPIO) LoadWord(addr uint16) uint16 {
+	return uint16(g.LoadByte(addr)) | uint16(g.LoadByte(addr+1))<<8
+}
+
+// StoreWord implements mem.Handler.
+func (g *GPIO) StoreWord(addr uint16, v uint16) {
+	g.StoreByte(addr, uint8(v))
+	g.StoreByte(addr+1, uint8(v>>8))
+}
+
+// Span returns the register range for bus mapping.
+func (g *GPIO) Span() (lo, hi uint16) { return g.Base, g.Base + 5 }
+
+// --- Timer ---------------------------------------------------------------
+
+// Timer control bits.
+const (
+	TimerModeUp = 1 << 0 // count 0..CCR0 repeatedly
+	TimerClear  = 1 << 1 // write-1: reset counter
+	TimerIE     = 1 << 2 // interrupt on wrap
+	TimerIFG    = 1 << 3
+)
+
+// Timer is a Timer_A-style up counter clocked by MCLK.
+type Timer struct {
+	Base uint16 // TACTL address; TAR at +0x10, CCR0 at +0x12
+	IRQ  *IRQController
+	Line int
+
+	CTL  uint16
+	TAR  uint16
+	CCR0 uint16
+	// Wraps counts CCR0 rollovers (handy for tests and app timing).
+	Wraps uint64
+}
+
+// NewTimer creates a timer with registers at base.
+func NewTimer(base uint16, irq *IRQController, line int) *Timer {
+	return &Timer{Base: base, IRQ: irq, Line: line}
+}
+
+// Tick advances the timer by CPU cycles.
+func (t *Timer) Tick(cycles int) {
+	if t.CTL&TimerModeUp == 0 || t.CCR0 == 0 {
+		return
+	}
+	for i := 0; i < cycles; i++ {
+		t.TAR++
+		if t.TAR >= t.CCR0 {
+			t.TAR = 0
+			t.Wraps++
+			t.CTL |= TimerIFG
+			if t.CTL&TimerIE != 0 && t.IRQ != nil {
+				t.IRQ.Request(t.Line)
+			}
+		}
+	}
+}
+
+// LoadWord implements mem.Handler.
+func (t *Timer) LoadWord(addr uint16) uint16 {
+	switch addr - t.Base {
+	case 0x00:
+		return t.CTL
+	case 0x10:
+		return t.TAR
+	case 0x12:
+		return t.CCR0
+	}
+	return 0
+}
+
+// StoreWord implements mem.Handler.
+func (t *Timer) StoreWord(addr uint16, v uint16) {
+	switch addr - t.Base {
+	case 0x00:
+		t.CTL = v &^ TimerClear
+		if v&TimerClear != 0 {
+			t.TAR = 0
+		}
+	case 0x10:
+		t.TAR = v
+	case 0x12:
+		t.CCR0 = v
+	}
+}
+
+// Span returns the register range for bus mapping.
+func (t *Timer) Span() (lo, hi uint16) { return t.Base, t.Base + 0x13 }
+
+// --- ADC -----------------------------------------------------------------
+
+// SensorModel produces the ADC reading for conversion n of a channel.
+// Models must be pure functions so firmware runs are reproducible.
+type SensorModel func(n int) uint16
+
+// ADC control bits.
+const (
+	ADCStart = 1 << 0
+	ADCIE    = 1 << 4
+	ADCDone  = 1 << 0 // in the status register
+)
+
+// ADCConversionCycles models the sample-and-convert latency in MCLK
+// cycles. A real ADC10 runs ~13 cycles of its own ~5 MHz oscillator
+// while the 100 MHz core waits, so the CPU sees a few hundred cycles.
+const ADCConversionCycles = 240
+
+// ADC is a successive-approximation converter with per-channel sensor
+// models.
+type ADC struct {
+	IRQ  *IRQController
+	Line int
+
+	channels map[uint8]SensorModel
+	counts   map[uint8]int
+
+	CTL     uint16
+	MEM     uint16
+	done    bool
+	busyFor int // cycles remaining in the active conversion
+	active  uint8
+}
+
+// NewADC creates an ADC with no channels attached.
+func NewADC(irq *IRQController, line int) *ADC {
+	return &ADC{IRQ: irq, Line: line, channels: map[uint8]SensorModel{}, counts: map[uint8]int{}}
+}
+
+// Attach connects a sensor model to a channel.
+func (a *ADC) Attach(channel uint8, m SensorModel) {
+	a.channels[channel] = m
+}
+
+// Tick advances an in-flight conversion.
+func (a *ADC) Tick(cycles int) {
+	if a.busyFor <= 0 {
+		return
+	}
+	a.busyFor -= cycles
+	if a.busyFor > 0 {
+		return
+	}
+	a.busyFor = 0
+	n := a.counts[a.active]
+	a.counts[a.active] = n + 1
+	if m, ok := a.channels[a.active]; ok {
+		a.MEM = m(n) & 0x0FFF // 12-bit converter
+	} else {
+		a.MEM = 0
+	}
+	a.done = true
+	if a.CTL&ADCIE != 0 && a.IRQ != nil {
+		a.IRQ.Request(a.Line)
+	}
+}
+
+// LoadWord implements mem.Handler.
+func (a *ADC) LoadWord(addr uint16) uint16 {
+	switch addr {
+	case ADCCTLAddr:
+		return a.CTL
+	case ADCMEMAddr:
+		return a.MEM
+	case ADCSTAGES:
+		if a.done {
+			return ADCDone
+		}
+		return 0
+	}
+	return 0
+}
+
+// StoreWord implements mem.Handler.
+func (a *ADC) StoreWord(addr uint16, v uint16) {
+	switch addr {
+	case ADCCTLAddr:
+		a.CTL = v &^ ADCStart
+		if v&ADCStart != 0 {
+			a.active = uint8(v >> 8 & 0xF)
+			a.busyFor = ADCConversionCycles
+			a.done = false
+		}
+	case ADCMEMAddr: // read-only
+	}
+}
+
+// Span returns the register range for bus mapping.
+func (a *ADC) Span() (lo, hi uint16) { return ADCCTLAddr, ADCSTAGES + 1 }
+
+// --- UART ----------------------------------------------------------------
+
+// UART status bits.
+const (
+	UARTRxAvail = 1 << 0
+	UARTTxReady = 1 << 1
+)
+
+// UART is a byte-oriented serial port. Transmit completes immediately
+// (the paper's applications use polling output); received bytes are
+// queued by the test harness via Feed.
+type UART struct {
+	IRQ  *IRQController
+	Line int
+
+	// TX is everything the firmware transmitted.
+	TX []byte
+	rx []byte
+}
+
+// NewUART creates a UART.
+func NewUART(irq *IRQController, line int) *UART {
+	return &UART{IRQ: irq, Line: line}
+}
+
+// Feed queues bytes on the receive side and raises the RX interrupt.
+func (u *UART) Feed(data []byte) {
+	u.rx = append(u.rx, data...)
+	if len(u.rx) > 0 && u.IRQ != nil {
+		u.IRQ.Request(u.Line)
+	}
+}
+
+// Transcript returns the transmitted bytes as a string.
+func (u *UART) Transcript() string { return string(u.TX) }
+
+// LoadWord implements mem.Handler.
+func (u *UART) LoadWord(addr uint16) uint16 {
+	switch addr {
+	case URXAddr:
+		if len(u.rx) == 0 {
+			return 0
+		}
+		b := u.rx[0]
+		u.rx = u.rx[1:]
+		if len(u.rx) > 0 && u.IRQ != nil {
+			u.IRQ.Request(u.Line)
+		}
+		return uint16(b)
+	case USTATAddr:
+		st := uint16(UARTTxReady)
+		if len(u.rx) > 0 {
+			st |= UARTRxAvail
+		}
+		return st
+	}
+	return 0
+}
+
+// StoreWord implements mem.Handler.
+func (u *UART) StoreWord(addr uint16, v uint16) {
+	if addr == UTXAddr {
+		u.TX = append(u.TX, byte(v))
+	}
+}
+
+// Span returns the register range for bus mapping.
+func (u *UART) Span() (lo, hi uint16) { return UTXAddr, USTATAddr + 1 }
+
+// --- LCD -----------------------------------------------------------------
+
+// LCD command opcodes (HD44780 subset).
+const (
+	LCDCmdClear   = 0x01
+	LCDCmdHome    = 0x02
+	LCDCmdSetAddr = 0x80 // | ddram address
+)
+
+// LCDRows and LCDCols fix the panel geometry (16x2, the ubiquitous
+// hobbyist module).
+const (
+	LCDRows = 2
+	LCDCols = 16
+)
+
+// LCD is a character display. Writes land in a screen buffer the tests
+// (and examples) can read back.
+type LCD struct {
+	screen [LCDRows][LCDCols]byte
+	addr   int
+	// Commands records the raw command stream for protocol tests.
+	Commands []uint16
+}
+
+// NewLCD creates a cleared display.
+func NewLCD() *LCD {
+	l := &LCD{}
+	l.clear()
+	return l
+}
+
+func (l *LCD) clear() {
+	for r := range l.screen {
+		for c := range l.screen[r] {
+			l.screen[r][c] = ' '
+		}
+	}
+	l.addr = 0
+}
+
+// Row returns the text of row r.
+func (l *LCD) Row(r int) string {
+	if r < 0 || r >= LCDRows {
+		return ""
+	}
+	return string(l.screen[r][:])
+}
+
+// LoadWord implements mem.Handler (status: always ready).
+func (l *LCD) LoadWord(addr uint16) uint16 { return 0 }
+
+// StoreWord implements mem.Handler.
+func (l *LCD) StoreWord(addr uint16, v uint16) {
+	switch addr {
+	case LCDCMDAddr:
+		l.Commands = append(l.Commands, v)
+		switch {
+		case v == LCDCmdClear:
+			l.clear()
+		case v == LCDCmdHome:
+			l.addr = 0
+		case v&LCDCmdSetAddr != 0:
+			l.addr = int(v & 0x7F)
+		}
+	case LCDDATAAddr:
+		row, col := l.addr/0x40, l.addr%0x40
+		if row < LCDRows && col < LCDCols {
+			l.screen[row][col] = byte(v)
+		}
+		l.addr++
+	}
+}
+
+// Span returns the register range for bus mapping.
+func (l *LCD) Span() (lo, hi uint16) { return LCDCMDAddr, LCDDATAAddr + 1 }
+
+// --- Ultrasonic ranger ---------------------------------------------------
+
+// Ultrasonic models an HC-SR04-style ranger: firmware writes TRIG, the
+// measurement completes after a flight time proportional to the modeled
+// distance, and the echo width (µs) appears in the WIDTH register.
+type Ultrasonic struct {
+	IRQ  *IRQController
+	Line int
+
+	// Distance returns the distance in centimetres for ping n.
+	Distance func(n int) uint16
+
+	width   uint16
+	done    bool
+	busyFor int
+	pings   int
+}
+
+// NewUltrasonic creates a ranger with a fixed 25 cm target.
+func NewUltrasonic(irq *IRQController, line int) *Ultrasonic {
+	return &Ultrasonic{IRQ: irq, Line: line, Distance: func(int) uint16 { return 25 }}
+}
+
+// echo width: ~58 µs per cm (HC-SR04 datasheet figure).
+const usPerCm = 58
+
+// UltrasonicLatency is the MCLK-cycle delay between trigger and result
+// (transducer settling plus a scaled-down echo flight time; the actual
+// per-distance timing is folded into the width register).
+const UltrasonicLatency = 2400
+
+// Tick advances an in-flight measurement.
+func (u *Ultrasonic) Tick(cycles int) {
+	if u.busyFor <= 0 {
+		return
+	}
+	u.busyFor -= cycles
+	if u.busyFor > 0 {
+		return
+	}
+	u.busyFor = 0
+	d := u.Distance(u.pings)
+	u.pings++
+	u.width = d * usPerCm
+	u.done = true
+	if u.IRQ != nil {
+		u.IRQ.Request(u.Line)
+	}
+}
+
+// LoadWord implements mem.Handler.
+func (u *Ultrasonic) LoadWord(addr uint16) uint16 {
+	switch addr {
+	case USWIDTHAddr:
+		return u.width
+	case USSTATAddr:
+		if u.done {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// StoreWord implements mem.Handler.
+func (u *Ultrasonic) StoreWord(addr uint16, v uint16) {
+	if addr == USTRIGAddr && v != 0 {
+		u.done = false
+		u.busyFor = UltrasonicLatency
+	}
+}
+
+// Span returns the register range for bus mapping.
+func (u *Ultrasonic) Span() (lo, hi uint16) { return USTRIGAddr, USSTATAddr + 1 }
+
+// --- Violation latch -------------------------------------------------------
+
+// ViolationLatch is the secure MMIO register EILIDsw writes when a CFI
+// check fails. The CASU monitor treats ANY write to it as the reset
+// trigger; writes from outside the secure ROM are themselves violations.
+type ViolationLatch struct {
+	// Writes counts stores to the register since the last reset.
+	Writes int
+	// Last is the last value written.
+	Last uint16
+}
+
+// LoadWord implements mem.Handler (reads as zero).
+func (v *ViolationLatch) LoadWord(addr uint16) uint16 { return 0 }
+
+// StoreWord implements mem.Handler.
+func (v *ViolationLatch) StoreWord(addr uint16, val uint16) {
+	v.Writes++
+	v.Last = val
+}
+
+// Reset clears the latch.
+func (v *ViolationLatch) Reset() { v.Writes = 0; v.Last = 0 }
+
+// Span returns the register range for bus mapping.
+func (v *ViolationLatch) Span() (lo, hi uint16) { return ViolationAddr, ViolationAddr + 1 }
+
+// --- Standard sensor models ----------------------------------------------
+
+// LightSensorModel is a deterministic ambient-light curve: a slow
+// day/night ramp with a dip in the middle (samples in 12-bit range).
+func LightSensorModel(n int) uint16 {
+	phase := n % 64
+	var v int
+	if phase < 32 {
+		v = 200 + phase*100
+	} else {
+		v = 200 + (63-phase)*100
+	}
+	return uint16(v)
+}
+
+// TempSensorModel ramps from 20.0°C to 35.9°C in tenths, encoded as the
+// raw ADC value of an LM35-style sensor (10 mV/°C, 3.3V ref, 12 bits).
+func TempSensorModel(n int) uint16 {
+	tenths := 200 + n%160
+	return uint16(tenths * 4096 / 3300)
+}
+
+// FlameSensorModel is quiet noise with a fire event between samples 40
+// and 48 (values above 0x0800 mean "flame detected").
+func FlameSensorModel(n int) uint16 {
+	if k := n % 64; k >= 40 && k < 48 {
+		return 0x0900 + uint16(k)*7
+	}
+	return 0x0100 + uint16(n%16)*3
+}
+
+// RangerDistanceModel is a target approaching from 100 cm to 5 cm and
+// retreating, 5 cm per ping.
+func RangerDistanceModel(n int) uint16 {
+	k := n % 38
+	if k < 19 {
+		return uint16(100 - 5*k)
+	}
+	return uint16(5 + 5*(k-19))
+}
+
+// String renders the LCD contents for debugging.
+func (l *LCD) String() string {
+	return fmt.Sprintf("[%s]\n[%s]", l.Row(0), l.Row(1))
+}
