@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test bench-smoke bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One-iteration benchmark pass so throughput regressions surface in PRs
+# without burning CI minutes.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=BenchmarkSimulator -benchtime=1x .
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem .
+
+check: build vet test bench-smoke

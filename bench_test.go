@@ -18,12 +18,15 @@ package eilid_test
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"eilid/internal/apps"
 	"eilid/internal/core"
 	"eilid/internal/eval"
+	"eilid/internal/fleet"
 	"eilid/internal/hwcost"
+	"eilid/internal/isa"
 )
 
 func newPipeline(b *testing.B) *core.Pipeline {
@@ -35,9 +38,9 @@ func newPipeline(b *testing.B) *core.Pipeline {
 	return p
 }
 
-// runOnce executes one build variant of an app and returns the cycle
-// count.
-func runOnce(b *testing.B, p *core.Pipeline, app apps.App, build *core.BuildResult, protected bool) uint64 {
+// runOnce executes one build variant of an app (optionally with a
+// shared predecoded instruction cache) and returns the cycle count.
+func runOnce(b *testing.B, p *core.Pipeline, app apps.App, build *core.BuildResult, protected bool, pre *isa.Predecoded) uint64 {
 	b.Helper()
 	opts := core.MachineOptions{Config: p.Config()}
 	img := build.Original.Image
@@ -53,6 +56,9 @@ func runOnce(b *testing.B, p *core.Pipeline, app apps.App, build *core.BuildResu
 	if err := m.LoadFirmware(img); err != nil {
 		b.Fatal(err)
 	}
+	if pre != nil {
+		m.UsePredecoded(pre)
+	}
 	if app.UARTInput != "" {
 		m.UART.Feed([]byte(app.UARTInput))
 	}
@@ -67,29 +73,43 @@ func runOnce(b *testing.B, p *core.Pipeline, app apps.App, build *core.BuildResu
 	return res.Cycles
 }
 
-// BenchmarkTable4 regenerates the run-time dimension of Table IV: each
-// sub-benchmark executes its application's instrumented build on the
-// protected device and reports simulated cycles for both variants plus
-// the overhead percentage.
+// BenchmarkTable4 regenerates the run-time dimension of Table IV
+// through the fleet runner: the application is assembled and predecoded
+// once (NewRunner, untimed), then every iteration replays both device
+// variants as fleet jobs and reports simulated cycles plus the overhead
+// percentage.
 func BenchmarkTable4(b *testing.B) {
 	p := newPipeline(b)
 	for _, app := range apps.All() {
 		app := app
 		b.Run(app.Name, func(b *testing.B) {
-			build, err := p.Build(app.Name+".s", app.Source)
+			r, err := fleet.NewRunner(p, fleet.Spec{
+				Apps: []string{app.Name}, NoScenarios: true, Workers: 2,
+			})
 			if err != nil {
 				b.Fatal(err)
 			}
-			orig := runOnce(b, p, app, build, false)
-			var inst uint64
+			build := r.BuildFor("app", app.Name)
+			if build == nil {
+				b.Fatal("runner did not prepare the app build")
+			}
+			layout := p.Config().Layout
+			sizeEILID := build.Instrumented.Image.SizeInRange(layout.PMEMStart, layout.PMEMEnd)
+			var rep *fleet.Report
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				inst = runOnce(b, p, app, build, true)
+				if rep, err = r.Run(); err != nil {
+					b.Fatal(err)
+				}
 			}
+			if rep.Failures != 0 {
+				b.Fatalf("fleet job failed: %+v", rep.Results)
+			}
+			orig, inst := rep.Results[0].Cycles, rep.Results[1].Cycles
 			b.ReportMetric(float64(orig), "cycles-orig")
 			b.ReportMetric(float64(inst), "cycles-eilid")
 			b.ReportMetric(100*float64(inst-orig)/float64(orig), "overhead-%")
-			b.ReportMetric(float64(build.Instrumented.Image.SizeInRange(0xE000, 0xF7FF)), "bytes-eilid")
+			b.ReportMetric(float64(sizeEILID), "bytes-eilid")
 		})
 	}
 }
@@ -168,11 +188,8 @@ func BenchmarkPipeline_Build(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulator_Throughput measures raw simulated cycles per second
-// of host time on a compute-bound loop.
-func BenchmarkSimulator_Throughput(b *testing.B) {
-	p := newPipeline(b)
-	src := `
+// busySrc is the compute-bound loop the throughput benchmarks run.
+const busySrc = `
 .org 0xE000
 reset:
     mov #0x0A00, sp
@@ -189,9 +206,27 @@ spin:
 .org 0xFFFE
 .word reset
 `
-	prog, err := p.BuildOriginal("busy.s", src)
+
+// benchmarkThroughput measures raw simulated cycles per second of host
+// time, with or without the predecoded instruction cache. The cache is
+// built once (the per-ROM artifact) and shared by every iteration's
+// machine, which is exactly how the fleet runner deploys it.
+func benchmarkThroughput(b *testing.B, predecode bool) {
+	p := newPipeline(b)
+	prog, err := p.BuildOriginal("busy.s", busySrc)
 	if err != nil {
 		b.Fatal(err)
+	}
+	var pre *isa.Predecoded
+	if predecode {
+		ref, err := core.NewMachine(core.MachineOptions{Config: p.Config()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ref.LoadFirmware(prog.Image); err != nil {
+			b.Fatal(err)
+		}
+		pre = ref.EnablePredecode()
 	}
 	var cycles uint64
 	b.ResetTimer()
@@ -203,6 +238,9 @@ spin:
 		if err := m.LoadFirmware(prog.Image); err != nil {
 			b.Fatal(err)
 		}
+		if pre != nil {
+			m.UsePredecoded(pre)
+		}
 		m.Boot()
 		res, err := m.Run(10_000_000)
 		if err != nil {
@@ -211,6 +249,43 @@ spin:
 		cycles += res.Cycles
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds()/1e6, "simMcycles/s")
+}
+
+// BenchmarkSimulator_Throughput is the hot path as the fleet runs it:
+// decode cache on.
+func BenchmarkSimulator_Throughput(b *testing.B) { benchmarkThroughput(b, true) }
+
+// BenchmarkSimulator_ThroughputNoPredecode is the pre-cache baseline,
+// kept for before/after comparison of the decode cache.
+func BenchmarkSimulator_ThroughputNoPredecode(b *testing.B) { benchmarkThroughput(b, false) }
+
+// BenchmarkSimulator_FleetMatrix executes the full application ×
+// variant × scenario matrix through the fleet runner on all CPUs —
+// the batch workload the fleet subsystem exists for. Artifacts (builds
+// and decode caches) are prepared once, untimed.
+func BenchmarkSimulator_FleetMatrix(b *testing.B) {
+	p := newPipeline(b)
+	r, err := fleet.NewRunner(p, fleet.Spec{Workers: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles uint64
+	var jobs int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := r.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Failures != 0 {
+			b.Fatalf("%d fleet jobs failed", rep.Failures)
+		}
+		cycles += rep.TotalCycles
+		jobs += rep.Jobs
+	}
+	sec := b.Elapsed().Seconds()
+	b.ReportMetric(float64(cycles)/sec/1e6, "simMcycles/s")
+	b.ReportMetric(float64(jobs)/sec, "jobs/s")
 }
 
 // BenchmarkEILIDsw_RoundTrip measures one full gateway round trip
@@ -272,7 +347,7 @@ func BenchmarkAblation_MonitorPassive(b *testing.B) {
 	}
 	var unprot, prot uint64
 	for i := 0; i < b.N; i++ {
-		unprot = runOnce(b, p, app, build, false)
+		unprot = runOnce(b, p, app, build, false, nil)
 		// Original image on the protected machine: hardware watches, no
 		// software instrumentation runs.
 		m, err := core.NewMachine(core.MachineOptions{Config: p.Config(), ROM: p.ROM(), Protected: true})

@@ -10,35 +10,47 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"eilid/internal/asm"
 )
 
 func main() {
-	hexDump := flag.Bool("hex", false, "print a hex dump of the image")
-	symbols := flag.Bool("symbols", false, "print the symbol table")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: eilid-asm [-hex] [-symbols] file.s")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("eilid-asm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	hexDump := fs.Bool("hex", false, "print a hex dump of the image")
+	symbols := fs.Bool("symbols", false, "print the symbol table")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
 	}
-	path := flag.Arg(0)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: eilid-asm [-hex] [-symbols] file.s")
+		return 2
+	}
+	path := fs.Arg(0)
 	src, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	prog, err := asm.Assemble(path, string(src))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-	fmt.Print(prog.Listing.String())
-	fmt.Printf("; %d bytes emitted\n", prog.Image.Size())
+	fmt.Fprint(stdout, prog.Listing.String())
+	fmt.Fprintf(stdout, "; %d bytes emitted\n", prog.Image.Size())
 	if *symbols {
 		for _, name := range prog.SortedSymbols() {
-			fmt.Printf("%-24s = 0x%04x\n", name, prog.Symbols[name])
+			fmt.Fprintf(stdout, "%-24s = 0x%04x\n", name, prog.Symbols[name])
 		}
 	}
 	if *hexDump {
@@ -48,8 +60,9 @@ func main() {
 				if end > len(c.Data) {
 					end = len(c.Data)
 				}
-				fmt.Printf("%04x: % x\n", int(c.Addr)+i, c.Data[i:end])
+				fmt.Fprintf(stdout, "%04x: % x\n", int(c.Addr)+i, c.Data[i:end])
 			}
 		}
 	}
+	return 0
 }

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const asmSrc = `
+.org 0xE000
+reset:
+    mov #0x0A00, sp
+    mov #0, &0x00FC
+stop:
+    jmp stop
+.org 0xFFFE
+.word reset
+`
+
+func TestAssembleHappyPath(t *testing.T) {
+	path := t.TempDir() + "/prog.s"
+	if err := os.WriteFile(path, []byte(asmSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"-hex", "-symbols", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"bytes emitted", "reset", "e000:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("missing arg: exit %d, want 2", code)
+	}
+	if code := run([]string{"/no/such/file.s"}, &out, &errb); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+	bad := t.TempDir() + "/bad.s"
+	if err := os.WriteFile(bad, []byte("    mov not-an-operand\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{bad}, &out, &errb); code != 1 {
+		t.Errorf("bad source: exit %d, want 1", code)
+	}
+}

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"eilid/internal/core"
@@ -17,61 +18,74 @@ import (
 )
 
 func main() {
-	table := flag.Int("table", 0, "regenerate a table (1-4)")
-	figure := flag.Int("figure", 0, "regenerate a figure (10)")
-	micro := flag.Bool("micro", false, "regenerate the micro-overhead numbers")
-	all := flag.Bool("all", false, "regenerate everything")
-	iters := flag.Int("iters", 50, "compile iterations for Table IV averaging")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("eilid-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	table := fs.Int("table", 0, "regenerate a table (1-4)")
+	figure := fs.Int("figure", 0, "regenerate a figure (10)")
+	micro := fs.Bool("micro", false, "regenerate the micro-overhead numbers")
+	all := fs.Bool("all", false, "regenerate everything")
+	iters := fs.Int("iters", 50, "compile iterations for Table IV averaging")
+	workers := fs.Int("workers", 1, "apps measured concurrently for Table IV (1 keeps compile timings contention-free)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 
 	pipeline, err := core.NewPipeline(core.DefaultConfig())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
 	did := false
 	if *all || *table == 1 {
-		eval.RenderTableI(os.Stdout)
-		fmt.Println()
+		eval.RenderTableI(stdout)
+		fmt.Fprintln(stdout)
 		did = true
 	}
 	if *all || *table == 2 {
-		eval.RenderTableII(os.Stdout)
-		fmt.Println()
+		eval.RenderTableII(stdout)
+		fmt.Fprintln(stdout)
 		did = true
 	}
 	if *all || *table == 3 {
-		eval.RenderTableIII(os.Stdout, pipeline.Config())
-		fmt.Println()
+		eval.RenderTableIII(stdout, pipeline.Config())
+		fmt.Fprintln(stdout)
 		did = true
 	}
 	if *all || *table == 4 {
-		t, err := eval.MeasureTableIV(pipeline, eval.MeasureOptions{CompileIterations: *iters})
+		t, err := eval.MeasureTableIV(pipeline, eval.MeasureOptions{CompileIterations: *iters, Workers: *workers})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		t.Render(os.Stdout)
-		fmt.Println()
+		t.Render(stdout)
+		fmt.Fprintln(stdout)
 		did = true
 	}
 	if *all || *figure == 10 {
-		eval.RenderFigure10(os.Stdout)
-		fmt.Println()
+		eval.RenderFigure10(stdout)
+		fmt.Fprintln(stdout)
 		did = true
 	}
 	if *all || *micro {
 		m, err := eval.MeasureMicro(pipeline)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		m.Render(os.Stdout)
+		m.Render(stdout)
 		did = true
 	}
 	if !did {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+	return 0
 }

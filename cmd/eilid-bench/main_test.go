@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBenchStaticTables(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-table", "1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out.Len() == 0 {
+		t.Fatal("table 1 produced no output")
+	}
+}
+
+func TestBenchFigure10(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-figure", "10"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out.Len() == 0 {
+		t.Fatal("figure 10 produced no output")
+	}
+}
+
+func TestBenchTable4Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 4 measurement in -short mode")
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"-table", "4", "-iters", "1", "-workers", "4"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"Table IV", "LightSensor", "Average"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBenchNoSelection(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no selection: exit %d, want 2", code)
+	}
+}

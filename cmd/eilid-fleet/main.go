@@ -1,0 +1,133 @@
+// Command eilid-fleet runs the full application × variant ×
+// attack-scenario matrix through the fleet runner: every firmware is
+// assembled and predecoded once, then the jobs execute concurrently on
+// independent simulated machines, and the deterministic per-job results
+// are aggregated into a report.
+//
+// Usage:
+//
+//	eilid-fleet [-workers N] [-repeat N] [-apps a,b] [-scenarios x,y]
+//	            [-json out.json] [-verify] [-q]
+//
+// -verify additionally replays the matrix sequentially and fails unless
+// the concurrent results are byte-identical — the fleet's determinism
+// contract, checkable from the command line.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"eilid/internal/core"
+	"eilid/internal/fleet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("eilid-fleet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size (1 = sequential)")
+	repeat := fs.Int("repeat", 1, "repetitions of every job")
+	appsFlag := fs.String("apps", "", "comma-separated application subset (default: all)")
+	scenariosFlag := fs.String("scenarios", "", "comma-separated scenario subset (default: all)")
+	noApps := fs.Bool("no-apps", false, "skip the application dimension")
+	noScenarios := fs.Bool("no-scenarios", false, "skip the attack dimension")
+	jsonOut := fs.String("json", "", "write the full report as JSON to this file (- for stdout)")
+	verify := fs.Bool("verify", false, "replay sequentially and require byte-identical results")
+	quiet := fs.Bool("q", false, "suppress the per-job table")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	pipeline, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	runner, err := fleet.NewRunner(pipeline, fleet.Spec{
+		Apps:        splitList(*appsFlag),
+		Scenarios:   splitList(*scenariosFlag),
+		NoApps:      *noApps,
+		NoScenarios: *noScenarios,
+		Repeat:      *repeat,
+		Workers:     *workers,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	report, err := runner.Run()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	if *verify {
+		seq, err := runner.RunSequential()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		a, errA := report.ResultsJSON()
+		b, errB := seq.ResultsJSON()
+		if errA != nil || errB != nil {
+			fmt.Fprintln(stderr, "verify: marshalling failed:", errA, errB)
+			return 1
+		}
+		if !bytes.Equal(a, b) {
+			fmt.Fprintln(stderr, "verify: FAILED — concurrent results differ from the sequential replay")
+			return 1
+		}
+		fmt.Fprintf(stdout, "verify: %d-worker run byte-identical to sequential replay (%d jobs)\n",
+			report.Workers, report.Jobs)
+	}
+
+	if !*quiet {
+		report.Render(stdout)
+	}
+	if *jsonOut != "" {
+		w := stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := report.WriteJSON(w); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if report.Failures > 0 || report.ChecksFailed > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestFleetSmallMatrix(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{
+		"-apps", "LightSensor", "-scenarios", "stack-smash", "-workers", "4",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\n%s", code, errb.String(), out.String())
+	}
+	for _, want := range []string{"4 jobs", "LightSensor", "stack-smash"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestFleetVerifyAndJSON(t *testing.T) {
+	path := t.TempDir() + "/report.json"
+	var out, errb strings.Builder
+	code := run([]string{
+		"-apps", "TempSensor", "-no-scenarios", "-workers", "8", "-repeat", "2",
+		"-verify", "-q", "-json", path,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\n%s", code, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "byte-identical") {
+		t.Errorf("verify line missing:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Workers int `json:"workers"`
+		Jobs    int `json:"jobs"`
+		Results []struct {
+			Name   string `json:"name"`
+			Cycles uint64 `json:"cycles"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Workers != 8 || rep.Jobs != 4 || len(rep.Results) != 4 {
+		t.Fatalf("unexpected report shape: %+v", rep)
+	}
+	if rep.Results[0].Name != "TempSensor" || rep.Results[0].Cycles == 0 {
+		t.Fatalf("unexpected first result: %+v", rep.Results[0])
+	}
+}
+
+func TestFleetFlagErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-apps", "NoSuchApp"}, &out, &errb); code != 2 {
+		t.Errorf("unknown app: exit %d, want 2", code)
+	}
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Errorf("-h: exit %d, want 0", code)
+	}
+	if !strings.Contains(errb.String(), "-workers") {
+		t.Errorf("-h did not print usage:\n%s", errb.String())
+	}
+}

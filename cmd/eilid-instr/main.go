@@ -10,48 +10,61 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"eilid/internal/core"
 )
 
 func main() {
-	lst := flag.Bool("lst", false, "print the final listing instead of the source")
-	stats := flag.Bool("stats", false, "print instrumentation statistics to stderr")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: eilid-instr [-lst] [-stats] file.s")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("eilid-instr", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	lst := fs.Bool("lst", false, "print the final listing instead of the source")
+	stats := fs.Bool("stats", false, "print instrumentation statistics to stderr")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
 	}
-	path := flag.Arg(0)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: eilid-instr [-lst] [-stats] file.s")
+		return 2
+	}
+	path := fs.Arg(0)
 	src, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	pipeline, err := core.NewPipeline(core.DefaultConfig())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	build, err := pipeline.Build(path, string(src))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	if *lst {
-		fmt.Print(build.Instrumented.Listing.String())
+		fmt.Fprint(stdout, build.Instrumented.Listing.String())
 	} else {
-		fmt.Print(build.InstrumentedSource)
+		fmt.Fprint(stdout, build.InstrumentedSource)
 	}
 	if *stats {
 		s := build.Stats
-		fmt.Fprintf(os.Stderr,
+		fmt.Fprintf(stderr,
 			"sites: %d direct calls, %d returns, %d ISR prologues, %d ISR epilogues, %d indirect calls\n",
 			s.DirectCalls, s.Returns, s.ISRPrologues, s.ISREpilogues, s.IndirectCalls)
-		fmt.Fprintf(os.Stderr, "function table entries: %d; spilled registers: %v; inserted lines: %d\n",
+		fmt.Fprintf(stderr, "function table entries: %d; spilled registers: %v; inserted lines: %d\n",
 			s.TableEntries, s.SpilledRegs, s.InsertedLines)
-		fmt.Fprintf(os.Stderr, "binary: %d -> %d bytes\n",
+		fmt.Fprintf(stderr, "binary: %d -> %d bytes\n",
 			build.Original.Image.Size(), build.Instrumented.Image.Size())
 	}
+	return 0
 }

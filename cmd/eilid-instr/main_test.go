@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const victimSrc = `
+.org 0xE000
+reset:
+    mov #0x0A00, sp
+main:
+    call #work
+    mov #0, &0x00FC
+stop:
+    jmp stop
+work:
+    add #1, r10
+    ret
+.org 0xFFFE
+.word reset
+`
+
+func TestInstrumentHappyPath(t *testing.T) {
+	path := t.TempDir() + "/victim.s"
+	if err := os.WriteFile(path, []byte(victimSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"-stats", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"NS_EILID_store_ra", "NS_EILID_check_ra"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("instrumented source missing %q", want)
+		}
+	}
+	if !strings.Contains(errb.String(), "sites: 1 direct calls, 1 returns") {
+		t.Errorf("stats missing:\n%s", errb.String())
+	}
+}
+
+func TestInstrumentListing(t *testing.T) {
+	path := t.TempDir() + "/victim.s"
+	if err := os.WriteFile(path, []byte(victimSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"-lst", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "e000") {
+		t.Errorf("listing output missing addresses:\n%s", out.String())
+	}
+}
+
+func TestInstrumentErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("missing arg: exit %d, want 2", code)
+	}
+	if code := run([]string{"/no/such.s"}, &out, &errb); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}

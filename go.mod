@@ -1,0 +1,3 @@
+module eilid
+
+go 1.22

@@ -15,11 +15,13 @@
 package attacks
 
 import (
-	"errors"
 	"fmt"
+	"runtime"
 
 	"eilid/internal/asm"
 	"eilid/internal/core"
+	"eilid/internal/fleet/pool"
+	"eilid/internal/isa"
 )
 
 // CompromiseCode is the simulation-control exit code attacker payloads
@@ -60,6 +62,9 @@ type Outcome struct {
 	ExitCode    uint16 // final simulation-control value
 	Resets      int    // hardware resets observed
 	Reason      string // first reset cause, if any
+	Cycles      uint64 // total MCLK cycles since power-on
+	Insns       uint64 // instructions executed since power-on
+	UART        string // transmit transcript
 }
 
 // Result pairs the baseline and protected outcomes of one scenario.
@@ -81,6 +86,40 @@ func (r Result) Defended() bool {
 // budget bounds every attack run.
 const budget = 5_000_000
 
+// Target is one prebuilt device variant a scenario executes against:
+// the build artifacts are produced once (assembly, instrumentation,
+// decode cache) and then shared by every run, which is what lets the
+// fleet runner replay the same scenario on many machines concurrently.
+type Target struct {
+	Config  core.Config
+	ROM     *core.SecureROM // required when Protected
+	Image   *asm.Image
+	Symbols map[string]uint16
+	// Protected enables the CASU/EILID monitor (and loads ROM).
+	Protected bool
+	// Predecoded optionally shares a decode cache built (via
+	// core.Machine.EnablePredecode) from a machine loaded with this
+	// exact Image (and ROM, when protected).
+	Predecoded *isa.Predecoded
+}
+
+// TargetsFor derives the baseline and protected targets from a build.
+func TargetsFor(p *core.Pipeline, build *core.BuildResult) (baseline, protected Target) {
+	baseline = Target{
+		Config:  p.Config(),
+		Image:   build.Original.Image,
+		Symbols: build.Original.Symbols,
+	}
+	protected = Target{
+		Config:    p.Config(),
+		ROM:       p.ROM(),
+		Image:     build.Instrumented.Image,
+		Symbols:   build.Instrumented.Symbols,
+		Protected: true,
+	}
+	return baseline, protected
+}
+
 // Run executes the scenario against both device variants.
 func Run(p *core.Pipeline, sc Scenario) (Result, error) {
 	build, err := p.Build(sc.Name+".s", sc.Source)
@@ -88,30 +127,37 @@ func Run(p *core.Pipeline, sc Scenario) (Result, error) {
 		return Result{}, fmt.Errorf("attacks: building %s: %w", sc.Name, err)
 	}
 
-	base, err := runOne(p, sc, build.Original.Image, build.Original.Symbols, false)
+	baseT, protT := TargetsFor(p, build)
+	base, err := Execute(baseT, sc)
 	if err != nil {
 		return Result{}, fmt.Errorf("attacks: %s baseline: %w", sc.Name, err)
 	}
-	prot, err := runOne(p, sc, build.Instrumented.Image, build.Instrumented.Symbols, true)
+	prot, err := Execute(protT, sc)
 	if err != nil {
 		return Result{}, fmt.Errorf("attacks: %s protected: %w", sc.Name, err)
 	}
 	return Result{Scenario: sc, Baseline: base, Protected: prot}, nil
 }
 
-func runOne(p *core.Pipeline, sc Scenario, img *asm.Image, syms map[string]uint16, protected bool) (Outcome, error) {
-	opts := core.MachineOptions{Config: p.Config()}
-	if protected {
-		opts.ROM = p.ROM()
+// Execute runs the scenario once against a prebuilt target.
+func Execute(t Target, sc Scenario) (Outcome, error) {
+	opts := core.MachineOptions{Config: t.Config}
+	if t.Protected {
+		opts.ROM = t.ROM
 		opts.Protected = true
 	}
 	m, err := core.NewMachine(opts)
 	if err != nil {
 		return Outcome{}, err
 	}
-	if err := img.WriteTo(m.Space); err != nil {
+	if err := t.Image.WriteTo(m.Space); err != nil {
 		return Outcome{}, err
 	}
+	if t.Predecoded != nil {
+		m.UsePredecoded(t.Predecoded)
+	}
+	syms := t.Symbols
+	protected := t.Protected
 	if sc.Payload != nil {
 		m.UART.Feed(sc.Payload(syms))
 	}
@@ -132,33 +178,33 @@ func runOne(p *core.Pipeline, sc Scenario, img *asm.Image, syms map[string]uint1
 			if m.ResetCount > 0 {
 				// Device reset before the poke point (shouldn't happen on
 				// a benign path); report as-is.
-				return outcomeOf(m, core.RunResult{Resets: m.ResetCount}), nil
+				return outcomeOf(m), nil
 			}
 		}
 		sc.Poke(m, syms)
 	}
 
-	var res core.RunResult
+	// Run errors (cycle-budget exhaustion, or a baseline device crashing
+	// outright on wild control flow — e.g. executing data that does not
+	// decode) are outcomes, not harness failures: a crash is not a
+	// compromise, but not a defended result either. Record what we know.
 	if protected {
-		res, err = m.RunUntilReset(budget)
+		_, _ = m.RunUntilReset(budget)
 	} else {
-		res, err = m.Run(budget)
+		_, _ = m.Run(budget)
 	}
-	if err != nil && !errors.Is(err, core.ErrCycleBudget) {
-		// Baseline devices may crash outright on wild control flow (for
-		// example, executing data that does not decode). A crash is not
-		// a compromise, but it is not a defended outcome either; record
-		// it with what we know.
-		return outcomeOf(m, res), nil
-	}
-	return outcomeOf(m, res), nil
+	return outcomeOf(m), nil
 }
 
-func outcomeOf(m *core.Machine, res core.RunResult) Outcome {
+// outcomeOf reads the machine's fate off its power-on observables.
+func outcomeOf(m *core.Machine) Outcome {
 	o := Outcome{
 		Halted:   m.Halted(),
 		ExitCode: m.ExitCode(),
 		Resets:   m.ResetCount,
+		Cycles:   m.CPU.Cycles,
+		Insns:    m.CPU.Insns,
+		UART:     m.UART.Transcript(),
 	}
 	o.Compromised = o.Halted && o.ExitCode == CompromiseCode
 	if len(m.ResetReasons) > 0 {
@@ -167,15 +213,27 @@ func outcomeOf(m *core.Machine, res core.RunResult) Outcome {
 	return o
 }
 
-// RunAll executes every scenario.
+// RunAll executes every scenario, sweeping them concurrently across the
+// available CPUs. Results come back in Scenarios() order and are
+// identical to a sequential sweep (each scenario builds and runs on
+// machines of its own).
 func RunAll(p *core.Pipeline) ([]Result, error) {
-	var out []Result
-	for _, sc := range Scenarios() {
-		r, err := Run(p, sc)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+	return RunAllWorkers(p, runtime.GOMAXPROCS(0))
+}
+
+// RunAllWorkers is RunAll with an explicit worker count (1 = sequential).
+func RunAllWorkers(p *core.Pipeline, workers int) ([]Result, error) {
+	scs := Scenarios()
+	results := pool.Do(len(scs), workers, func(i int) pool.Err[Result] {
+		r, err := Run(p, scs[i])
+		return pool.Err[Result]{V: r, Err: err}
+	})
+	if err := pool.First(results); err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(results))
+	for i, r := range results {
+		out[i] = r.V
 	}
 	return out, nil
 }

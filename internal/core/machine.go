@@ -7,6 +7,7 @@ import (
 	"eilid/internal/asm"
 	"eilid/internal/casu"
 	"eilid/internal/cpu"
+	"eilid/internal/isa"
 	"eilid/internal/mem"
 	"eilid/internal/periph"
 )
@@ -79,6 +80,10 @@ func NewMachine(opts MachineOptions) (*Machine, error) {
 	}
 	m := &Machine{Space: space, IRQ: &periph.IRQController{}, ctl: &simCtl{}}
 	m.CPU = cpu.New(space)
+	// Every backing-store write (CPU stores, image loads, reset clears)
+	// stales the decode cache for the touched window; a no-op until a
+	// cache is installed via EnablePredecode/UsePredecoded.
+	space.WriteHook = m.CPU.InvalidateCode
 
 	m.Port1 = periph.NewGPIO(periph.P1INAddr, m.IRQ, periph.IRQPort1)
 	m.Port2 = periph.NewGPIO(periph.P2INAddr, m.IRQ, periph.IRQPort1)
@@ -161,6 +166,36 @@ func (m *Machine) Boot() {
 	m.CPU.Reset(m.Space.Layout.ResetVector())
 }
 
+// EnablePredecode snapshots the fetchable upper memory (user PMEM
+// through the IVT) into an immutable decode cache and installs it, so
+// Step skips isa.Decode on warm paths. Call it after LoadFirmware (the
+// snapshot must see the final code contents); writes that land in code
+// after this point are tracked and force a live re-decode. The returned
+// cache may be shared, via UsePredecoded, with any machine whose code
+// contents are byte-identical — the fleet runner's per-ROM artifact.
+func (m *Machine) EnablePredecode() *isa.Predecoded {
+	// Only cache addresses whose whole fetch window stays in RAM-backed
+	// regions: a window that strays into the unmapped hole between the
+	// secure ROM and the IVT must keep the live path, whose speculative
+	// bus reads there return 0xFFFF and count bus errors.
+	l := m.Space.Layout
+	ramBacked := func(addr uint16) bool {
+		switch l.RegionOf(addr) {
+		case mem.RegionPMEM, mem.RegionSecureROM, mem.RegionIVT:
+			return true
+		}
+		return false
+	}
+	p := isa.Predecode(m.Space.PeekWord, l.PMEMStart, 0xFFFF, ramBacked)
+	m.CPU.SetPredecoded(p)
+	return p
+}
+
+// UsePredecoded installs a cache previously built by EnablePredecode on
+// a machine loaded with byte-identical code. Installing asserts the
+// cache matches this machine's memory right now.
+func (m *Machine) UsePredecoded(p *isa.Predecoded) { m.CPU.SetPredecoded(p) }
+
 // Halted reports whether firmware wrote the simulation-control register.
 func (m *Machine) Halted() bool { return m.ctl.halted }
 
@@ -219,6 +254,12 @@ var ErrCycleBudget = errors.New("core: cycle budget exhausted before halt")
 // register, a fault occurs, or maxCycles elapse.
 func (m *Machine) Run(maxCycles uint64) (RunResult, error) {
 	startCycles, startInsns, startResets := m.CPU.Cycles, m.CPU.Insns, m.ResetCount
+	// A zero budget can execute nothing: report it as an exhausted
+	// budget unconditionally, so callers can tell it apart from a clean
+	// halt even when a previous run already halted the firmware.
+	if maxCycles == 0 {
+		return m.result(startCycles, startInsns, startResets), ErrCycleBudget
+	}
 	for !m.ctl.halted {
 		if m.CPU.Cycles-startCycles >= maxCycles {
 			return m.result(startCycles, startInsns, startResets), ErrCycleBudget
@@ -234,6 +275,9 @@ func (m *Machine) Run(maxCycles uint64) (RunResult, error) {
 // the firmware halts, or maxCycles elapse.
 func (m *Machine) RunUntilReset(maxCycles uint64) (RunResult, error) {
 	startCycles, startInsns, startResets := m.CPU.Cycles, m.CPU.Insns, m.ResetCount
+	if maxCycles == 0 {
+		return m.result(startCycles, startInsns, startResets), ErrCycleBudget
+	}
 	for !m.ctl.halted && m.ResetCount == startResets {
 		if m.CPU.Cycles-startCycles >= maxCycles {
 			return m.result(startCycles, startInsns, startResets), ErrCycleBudget

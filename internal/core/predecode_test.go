@@ -1,0 +1,245 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"eilid/internal/apps"
+	"eilid/internal/core"
+	"eilid/internal/isa"
+)
+
+// runInspected runs one build variant of an app with or without the
+// predecode cache and returns the observable outcome.
+func runInspected(t *testing.T, p *core.Pipeline, app apps.App, build *core.BuildResult, protected, predecode bool) *apps.Inspection {
+	t.Helper()
+	opts := core.MachineOptions{Config: p.Config()}
+	img := build.Original.Image
+	if protected {
+		opts.ROM = p.ROM()
+		opts.Protected = true
+		img = build.Instrumented.Image
+	}
+	m, err := core.NewMachine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	if predecode {
+		if pre := m.EnablePredecode(); pre.Len() == 0 {
+			t.Fatal("predecode cached nothing")
+		}
+	}
+	if app.UARTInput != "" {
+		m.UART.Feed([]byte(app.UARTInput))
+	}
+	m.Boot()
+	res, err := m.Run(app.MaxCycles)
+	if err != nil {
+		t.Fatalf("predecode=%v protected=%v: %v", predecode, protected, err)
+	}
+	return apps.Inspect(m, res)
+}
+
+// TestPredecodeDifferential runs every Table IV application, on both
+// device variants, with the decode cache on and off, and requires the
+// two executions to be observably identical: same cycle count, same
+// instruction count, same UART transcript, same reset count, same
+// GPIO/LCD activity. The cache must be semantically invisible.
+func TestPredecodeDifferential(t *testing.T) {
+	p, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range apps.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			build, err := p.Build(app.Name+".s", app.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, protected := range []bool{false, true} {
+				off := runInspected(t, p, app, build, protected, false)
+				on := runInspected(t, p, app, build, protected, true)
+				if off.Cycles != on.Cycles {
+					t.Errorf("protected=%v: cycles %d (cache off) vs %d (cache on)", protected, off.Cycles, on.Cycles)
+				}
+				if off.Insns != on.Insns {
+					t.Errorf("protected=%v: insns %d vs %d", protected, off.Insns, on.Insns)
+				}
+				if off.Resets != on.Resets {
+					t.Errorf("protected=%v: resets %d vs %d", protected, off.Resets, on.Resets)
+				}
+				if err := apps.Equivalent(off, on); err != nil {
+					t.Errorf("protected=%v: observable behaviour diverged: %v", protected, err)
+				}
+			}
+		})
+	}
+}
+
+// TestPredecodeSelfModifyingCode covers cache invalidation: on the
+// unprotected baseline (where PMEM writes are legal — no monitor), the
+// firmware executes an instruction, overwrites it in place, and
+// executes the patched word on the next loop iteration. With the cache
+// enabled the write must stale the predecoded entry so the second pass
+// decodes the new instruction, matching the cache-off run exactly.
+func TestPredecodeSelfModifyingCode(t *testing.T) {
+	p, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The patch turns "inc r9" into "inc r10" at run time.
+	patch := isa.MustEncode(isa.Instruction{
+		Op: isa.ADD, Src: isa.Imm(1), Dst: isa.RegOp(10),
+	})
+	if len(patch) != 1 {
+		t.Fatalf("patch encodes to %d words, want 1", len(patch))
+	}
+	src := fmt.Sprintf(`
+.org 0xE000
+reset:
+    mov #0x0A00, sp
+main:
+    mov #2, r12
+loop:
+site:
+    inc r9
+    mov #0x%04X, &site
+    dec r12
+    jnz loop
+    mov #0, &0x00FC
+spin:
+    jmp spin
+.org 0xFFFE
+.word reset
+`, patch[0])
+	prog, err := p.BuildOriginal("selfmod.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(predecode bool) (*core.Machine, core.RunResult) {
+		m, err := core.NewMachine(core.MachineOptions{Config: p.Config()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.LoadFirmware(prog.Image); err != nil {
+			t.Fatal(err)
+		}
+		if predecode {
+			m.EnablePredecode()
+		}
+		m.Boot()
+		res, err := m.Run(100_000)
+		if err != nil {
+			t.Fatalf("predecode=%v: %v", predecode, err)
+		}
+		return m, res
+	}
+
+	mOff, resOff := run(false)
+	mOn, resOn := run(true)
+
+	for _, m := range []*core.Machine{mOff, mOn} {
+		if got := m.CPU.R[9]; got != 1 {
+			t.Errorf("r9 = %d, want 1 (first pass executes the original instruction)", got)
+		}
+		if got := m.CPU.R[10]; got != 1 {
+			t.Errorf("r10 = %d, want 1 (second pass must execute the patched instruction)", got)
+		}
+	}
+	if resOff.Cycles != resOn.Cycles || resOff.Insns != resOn.Insns {
+		t.Errorf("self-modifying run diverged: %d/%d cycles/insns (off) vs %d/%d (on)",
+			resOff.Cycles, resOff.Insns, resOn.Cycles, resOn.Insns)
+	}
+}
+
+// TestPredecodeSkipsUnmappedWindows: the default layout has an
+// unmapped hole between the secure ROM and the IVT; a live fetch whose
+// speculative three-word window dips into it reads 0xFFFF off the bus
+// and counts a bus error, side effects the cache would skip. Such
+// addresses must therefore never be cached, even when the raw bytes
+// there happen to decode.
+func TestPredecodeSkipsUnmappedWindows(t *testing.T) {
+	p, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewMachine(core.MachineOptions{Config: p.Config()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := m.Space.Layout
+	romEnd := layout.SecureROMEnd // 0xFDFF; hole starts at 0xFE00
+	// Plant decodable nops across the ROM/hole boundary.
+	nop := isa.MustEncode(isa.Instruction{Op: isa.MOV, Src: isa.RegOp(4), Dst: isa.RegOp(4)})
+	var raw []byte
+	for i := 0; i < 8; i++ {
+		raw = append(raw, byte(nop[0]), byte(nop[0]>>8))
+	}
+	if err := m.Space.LoadImage(romEnd-7, raw); err != nil {
+		t.Fatal(err)
+	}
+	pre := m.EnablePredecode()
+
+	inRom := romEnd - 7 // window stays inside the ROM
+	if _, _, _, ok := pre.Lookup(inRom); !ok {
+		t.Errorf("0x%04x: window inside ROM should be cached", inRom)
+	}
+	for _, a := range []uint16{romEnd - 3, romEnd - 1, romEnd + 1, romEnd + 3} {
+		a &^= 1
+		if _, _, _, ok := pre.Lookup(a); ok {
+			t.Errorf("0x%04x: cached although its fetch window leaves RAM-backed space", a)
+		}
+	}
+}
+
+// TestPredecodeSharedAcrossMachines checks the per-ROM sharing contract:
+// one cache built from a reference machine drives a second machine with
+// identical firmware to an identical outcome.
+func TestPredecodeSharedAcrossMachines(t *testing.T) {
+	p, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, _ := apps.ByName("TempSensor")
+	build, err := p.Build(app.Name+".s", app.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := core.NewMachine(core.MachineOptions{Config: p.Config(), ROM: p.ROM(), Protected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.LoadFirmware(build.Instrumented.Image); err != nil {
+		t.Fatal(err)
+	}
+	pre := ref.EnablePredecode()
+
+	baseline := runInspected(t, p, app, build, true, false)
+	m, err := core.NewMachine(core.MachineOptions{Config: p.Config(), ROM: p.ROM(), Protected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadFirmware(build.Instrumented.Image); err != nil {
+		t.Fatal(err)
+	}
+	m.UsePredecoded(pre)
+	m.Boot()
+	res, err := m.Run(app.MaxCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := apps.Inspect(m, res)
+	if baseline.Cycles != shared.Cycles || baseline.Insns != shared.Insns {
+		t.Errorf("shared cache diverged: %d/%d vs %d/%d cycles/insns",
+			baseline.Cycles, baseline.Insns, shared.Cycles, shared.Insns)
+	}
+	if err := apps.Equivalent(baseline, shared); err != nil {
+		t.Errorf("shared cache changed behaviour: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"eilid/internal/core"
+)
+
+const budgetProg = `
+.org 0xE000
+reset:
+    mov #0x0A00, sp
+    mov #0, &0x00FC
+spin:
+    jmp spin
+.org 0xFFFE
+.word reset
+`
+
+func budgetMachine(t *testing.T) (*core.Machine, *core.Pipeline) {
+	t.Helper()
+	p, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := p.BuildOriginal("budget.s", budgetProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewMachine(core.MachineOptions{Config: p.Config()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadFirmware(prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	m.Boot()
+	return m, p
+}
+
+// TestRunZeroBudget is the regression test for the zero-cycle budget: a
+// budget of 0 can execute nothing, so Run and RunUntilReset must report
+// ErrCycleBudget — distinguishable from a clean halt — in every state,
+// including after a previous run already halted the firmware.
+func TestRunZeroBudget(t *testing.T) {
+	m, _ := budgetMachine(t)
+
+	res, err := m.Run(0)
+	if !errors.Is(err, core.ErrCycleBudget) {
+		t.Fatalf("Run(0) error = %v, want ErrCycleBudget", err)
+	}
+	if res.Cycles != 0 || res.Insns != 0 {
+		t.Fatalf("Run(0) executed %d cycles / %d insns, want none", res.Cycles, res.Insns)
+	}
+
+	if _, err := m.RunUntilReset(0); !errors.Is(err, core.ErrCycleBudget) {
+		t.Fatalf("RunUntilReset(0) error = %v, want ErrCycleBudget", err)
+	}
+
+	// Let the firmware halt, then ask again with a zero budget: the
+	// stale halt flag must not masquerade as a clean completion.
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+	if !m.Halted() {
+		t.Fatal("firmware did not halt")
+	}
+	if _, err := m.Run(0); !errors.Is(err, core.ErrCycleBudget) {
+		t.Fatalf("Run(0) after halt error = %v, want ErrCycleBudget", err)
+	}
+	if _, err := m.RunUntilReset(0); !errors.Is(err, core.ErrCycleBudget) {
+		t.Fatalf("RunUntilReset(0) after halt error = %v, want ErrCycleBudget", err)
+	}
+}
+
+// TestRunNonZeroBudgetStillHalts guards the fix against over-reach: a
+// generous budget must still complete normally.
+func TestRunNonZeroBudgetStillHalts(t *testing.T) {
+	m, _ := budgetMachine(t)
+	res, err := m.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted || res.ExitCode != 0 {
+		t.Fatalf("run did not halt cleanly: %+v", res)
+	}
+}

@@ -87,7 +87,16 @@ type CPU struct {
 	Interrupts uint64
 
 	prevPC uint16
+
+	// pre is an optional shared read-only decode cache; dirty marks word
+	// addresses whose predecoded entry may be stale because a bus write
+	// landed in its fetch window (1 bit per word address, lazily built).
+	pre   *isa.Predecoded
+	dirty []uint64
 }
+
+// dirtyWords is the size of the stale bitmap: one bit per word address.
+const dirtyWords = 1 << 15
 
 // New creates a CPU attached to the bus. Call Reset before stepping.
 func New(bus Bus) *CPU {
@@ -105,6 +114,50 @@ func (c *CPU) SR() uint16 { return c.R[isa.SR] }
 
 // PrevPC returns the address of the most recently executed instruction.
 func (c *CPU) PrevPC() uint16 { return c.prevPC }
+
+// SetPredecoded installs (or, with nil, removes) a decode cache built
+// from the memory contents the CPU currently fetches from. The cache is
+// read-only and may be shared across CPUs running identical code. Any
+// previously recorded staleness is discarded: the caller asserts the
+// cache matches memory at this instant.
+func (c *CPU) SetPredecoded(p *isa.Predecoded) {
+	c.pre = p
+	c.dirty = nil
+}
+
+// Predecoded returns the installed decode cache, if any.
+func (c *CPU) Predecoded() *isa.Predecoded { return c.pre }
+
+// InvalidateCode records that the n bytes at addr were overwritten, so
+// cached decodes whose fetch window covers them must re-decode live. An
+// instruction starts at most four bytes before a word it consumes, so
+// the two preceding word slots are staled along with the written range.
+// It is safe (and cheap) to call for every bus write; mem.Space's
+// WriteHook is wired to it by core.Machine.
+func (c *CPU) InvalidateCode(addr uint16, n int) {
+	if c.pre == nil || n <= 0 {
+		return
+	}
+	if c.dirty == nil {
+		c.dirty = make([]uint64, dirtyWords/64)
+	}
+	w0 := int(addr)>>1 - 2
+	w1 := (int(addr) + n - 1) >> 1
+	for w := w0; w <= w1; w++ {
+		i := w & (dirtyWords - 1)
+		c.dirty[i>>6] |= 1 << (uint(i) & 63)
+	}
+}
+
+// staleAt reports whether the predecoded entry at pc has been
+// invalidated by a write.
+func (c *CPU) staleAt(pc uint16) bool {
+	if c.dirty == nil {
+		return false
+	}
+	i := int(pc) >> 1
+	return c.dirty[i>>6]&(1<<(uint(i)&63)) != 0
+}
 
 // Flag reports whether the given status flag is set.
 func (c *CPU) Flag(f uint16) bool { return c.R[isa.SR]&f != 0 }
@@ -206,6 +259,19 @@ func (c *CPU) Step() (int, error) {
 	pc := c.R[isa.PC]
 	if c.Watch != nil {
 		c.Watch.OnFetch(c.prevPC, pc)
+	}
+
+	// Warm path: a predecoded entry that no write has touched skips the
+	// speculative fetch and the decoder entirely.
+	if in, size, cyc, ok := c.pre.Lookup(pc); ok && !c.staleAt(pc) {
+		c.R[isa.PC] = pc + size
+		c.prevPC = pc
+		if err := c.execute(pc, in); err != nil {
+			return 0, &ExecError{PC: pc, Err: err}
+		}
+		c.Cycles += uint64(cyc)
+		c.Insns++
+		return int(c.Cycles - start), nil
 	}
 
 	// Fetch up to the maximum instruction length. Instruction fetches are

@@ -14,6 +14,8 @@ import (
 
 	"eilid/internal/apps"
 	"eilid/internal/core"
+	"eilid/internal/fleet"
+	"eilid/internal/fleet/pool"
 )
 
 // ClockMHz is the simulated core clock, matching the paper's 100 MHz
@@ -90,11 +92,18 @@ type MeasureOptions struct {
 	CompileIterations int
 	// Apps restricts the set (nil = all seven).
 	Apps []apps.App
+	// Workers measures that many applications concurrently through the
+	// fleet worker pool (<=1 = sequential). The simulated dimensions
+	// (cycles, sizes, sites) are identical at any worker count; the
+	// compile wall-clock averages pick up scheduler noise under
+	// contention, so keep Workers at 1 when those numbers matter.
+	Workers int
 }
 
 // MeasureTableIV builds and runs every application twice (original on
 // the unprotected device, instrumented on the EILID device) and measures
-// the three overhead dimensions.
+// the three overhead dimensions. Rows come back in application order
+// regardless of Workers.
 func MeasureTableIV(p *core.Pipeline, opts MeasureOptions) (*TableIV, error) {
 	iters := opts.CompileIterations
 	if iters <= 0 {
@@ -105,12 +114,18 @@ func MeasureTableIV(p *core.Pipeline, opts MeasureOptions) (*TableIV, error) {
 		list = apps.All()
 	}
 	table := &TableIV{CompileIterations: iters}
-	for _, app := range list {
-		row, err := measureApp(p, app, iters)
+	rows := pool.Do(len(list), opts.Workers, func(i int) pool.Err[TableIVRow] {
+		row, err := measureApp(p, list[i], iters)
 		if err != nil {
-			return nil, fmt.Errorf("eval: %s: %w", app.Name, err)
+			err = fmt.Errorf("eval: %s: %w", list[i].Name, err)
 		}
-		table.Rows = append(table.Rows, row)
+		return pool.Err[TableIVRow]{V: row, Err: err}
+	})
+	if err := pool.First(rows); err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		table.Rows = append(table.Rows, r.V)
 	}
 	return table, nil
 }
@@ -174,29 +189,13 @@ func measureApp(p *core.Pipeline, app apps.App, iters int) (TableIVRow, error) {
 }
 
 func runApp(p *core.Pipeline, app apps.App, build *core.BuildResult, protected bool) (*apps.Inspection, error) {
-	opts := core.MachineOptions{Config: p.Config()}
-	img := build.Original.Image
-	if protected {
-		opts.ROM = p.ROM()
-		opts.Protected = true
-		img = build.Instrumented.Image
-	}
-	m, err := core.NewMachine(opts)
+	// One shared run sequence with the fleet jobs (machine setup,
+	// decode cache, UART feed, boot, run, inspect), so the Table IV and
+	// fleet paths cannot drift apart.
+	insp, _, err := fleet.ExecuteApp(p, app, build, protected, nil)
 	if err != nil {
 		return nil, err
 	}
-	if err := m.LoadFirmware(img); err != nil {
-		return nil, err
-	}
-	if app.UARTInput != "" {
-		m.UART.Feed([]byte(app.UARTInput))
-	}
-	m.Boot()
-	res, err := m.Run(app.MaxCycles)
-	if err != nil {
-		return nil, err
-	}
-	insp := apps.Inspect(m, res)
 	if chk := app.Check(insp); chk != nil {
 		return nil, fmt.Errorf("behaviour check failed: %w", chk)
 	}

@@ -1,0 +1,45 @@
+package eval
+
+import (
+	"testing"
+
+	"eilid/internal/core"
+)
+
+// TestMeasureTableIVParallelDeterminism: the simulated dimensions of
+// Table IV (cycle counts, binary sizes, instrumentation sites) must be
+// identical whether the applications are measured sequentially or
+// spread over the fleet worker pool; only the compile wall-clock
+// averages are scheduling-sensitive.
+func TestMeasureTableIVParallelDeterminism(t *testing.T) {
+	p, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := MeasureTableIV(p, MeasureOptions{CompileIterations: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MeasureTableIV(p, MeasureOptions{CompileIterations: 1, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Rows) != len(par.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(seq.Rows), len(par.Rows))
+	}
+	for i := range seq.Rows {
+		s, q := seq.Rows[i], par.Rows[i]
+		if s.App != q.App {
+			t.Fatalf("row %d order differs: %s vs %s", i, s.App, q.App)
+		}
+		if s.CyclesOrig != q.CyclesOrig || s.CyclesEILID != q.CyclesEILID {
+			t.Errorf("%s: cycles differ: %d/%d vs %d/%d", s.App, s.CyclesOrig, s.CyclesEILID, q.CyclesOrig, q.CyclesEILID)
+		}
+		if s.SizeOrig != q.SizeOrig || s.SizeEILID != q.SizeEILID {
+			t.Errorf("%s: sizes differ: %d/%d vs %d/%d", s.App, s.SizeOrig, s.SizeEILID, q.SizeOrig, q.SizeEILID)
+		}
+		if s.Sites != q.Sites {
+			t.Errorf("%s: sites differ: %d vs %d", s.App, s.Sites, q.Sites)
+		}
+	}
+}

@@ -1,0 +1,416 @@
+// Package fleet is the fleet-scale simulation subsystem: it executes a
+// matrix of (application × variant × attack-scenario) jobs concurrently
+// on independent core.Machine instances while sharing the expensive
+// read-only build artifacts — each firmware is assembled and
+// instrumented exactly once via core.Pipeline, and its predecoded
+// instruction cache (core.Machine.EnablePredecode) is built once per
+// ROM and handed to every machine that runs it. Job results are
+// aggregated deterministically in job order, so a run with eight
+// workers is byte-identical to a sequential run of the same matrix.
+//
+// The cmd/eilid-fleet CLI, the eval/attacks sweeps and the repository
+// benchmarks all sit on top of this package; it is the substrate for
+// scaling the simulator to large scenario matrices.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"eilid/internal/apps"
+	"eilid/internal/asm"
+	"eilid/internal/attacks"
+	"eilid/internal/core"
+	"eilid/internal/fleet/pool"
+	"eilid/internal/isa"
+)
+
+// Variant names a device build flavour.
+type Variant string
+
+const (
+	// VariantBaseline is the unprotected device running the original
+	// (uninstrumented) build.
+	VariantBaseline Variant = "baseline"
+	// VariantProtected is the CASU/EILID device running the
+	// instrumented build.
+	VariantProtected Variant = "protected"
+)
+
+// Variants returns both flavours in canonical order.
+func Variants() []Variant { return []Variant{VariantBaseline, VariantProtected} }
+
+// Spec selects the job matrix.
+type Spec struct {
+	// Apps restricts the Table IV applications by name (nil = all).
+	Apps []string
+	// Scenarios restricts the attack scenarios by name (nil = all).
+	// Use NoScenarios to run an app-only matrix.
+	Scenarios []string
+	// NoApps / NoScenarios drop a whole dimension.
+	NoApps      bool
+	NoScenarios bool
+	// Variants restricts the device flavours (nil = both).
+	Variants []Variant
+	// Repeat runs every job this many times (default 1); repeats are
+	// distinct jobs, so determinism is checked across them too.
+	Repeat int
+	// Workers sizes the pool (default: GOMAXPROCS; 1 = sequential).
+	Workers int
+}
+
+// Job is one cell of the matrix.
+type Job struct {
+	Index   int     `json:"index"`
+	Kind    string  `json:"kind"` // "app" or "attack"
+	Name    string  `json:"name"`
+	Variant Variant `json:"variant"`
+	Repeat  int     `json:"repeat"`
+}
+
+// JobResult is the deterministic outcome of one job. It carries only
+// simulated observables (no wall-clock fields), so marshalled results
+// are byte-identical across worker counts and runs.
+type JobResult struct {
+	Job
+	Cycles      uint64 `json:"cycles"`
+	Insns       uint64 `json:"insns"`
+	Halted      bool   `json:"halted"`
+	ExitCode    uint16 `json:"exit_code"`
+	Resets      int    `json:"resets"`
+	Reason      string `json:"reason,omitempty"`
+	UART        string `json:"uart,omitempty"`
+	Compromised bool   `json:"compromised,omitempty"`
+	CheckOK     bool   `json:"check_ok"`
+	Err         string `json:"error,omitempty"`
+}
+
+// artifact is the shared read-only build product for one firmware:
+// assembled images plus one predecoded instruction cache per variant.
+type artifact struct {
+	build   *core.BuildResult
+	preBase *isa.Predecoded
+	preProt *isa.Predecoded
+}
+
+// pre returns the decode cache for a variant.
+func (a *artifact) pre(v Variant) *isa.Predecoded {
+	if v == VariantProtected {
+		return a.preProt
+	}
+	return a.preBase
+}
+
+// Runner holds a prepared matrix: every firmware built, every decode
+// cache snapshotted, every job enumerated. Run may be called multiple
+// times; the artifacts are reused.
+type Runner struct {
+	p         *core.Pipeline
+	apps      []apps.App
+	scenarios []attacks.Scenario
+	artifacts map[string]*artifact // keyed by kind/name
+	jobs      []Job
+	workers   int
+}
+
+// NewRunner builds all artifacts for the matrix selected by spec
+// (sequentially, so preparation is deterministic) and enumerates the
+// jobs.
+func NewRunner(p *core.Pipeline, spec Spec) (*Runner, error) {
+	r := &Runner{p: p, artifacts: map[string]*artifact{}, workers: spec.Workers}
+	if r.workers <= 0 {
+		r.workers = runtime.GOMAXPROCS(0)
+	}
+	variants := spec.Variants
+	if variants == nil {
+		variants = Variants()
+	}
+	repeat := spec.Repeat
+	if repeat <= 0 {
+		repeat = 1
+	}
+
+	if !spec.NoApps {
+		list, err := selectApps(spec.Apps)
+		if err != nil {
+			return nil, err
+		}
+		r.apps = list
+	}
+	if !spec.NoScenarios {
+		list, err := selectScenarios(spec.Scenarios)
+		if err != nil {
+			return nil, err
+		}
+		r.scenarios = list
+	}
+
+	for _, app := range r.apps {
+		if _, err := r.prepare("app/"+app.Name, app.Name+".s", app.Source); err != nil {
+			return nil, fmt.Errorf("fleet: building %s: %w", app.Name, err)
+		}
+	}
+	for _, sc := range r.scenarios {
+		if _, err := r.prepare("attack/"+sc.Name, sc.Name+".s", sc.Source); err != nil {
+			return nil, fmt.Errorf("fleet: building %s: %w", sc.Name, err)
+		}
+	}
+
+	for rep := 0; rep < repeat; rep++ {
+		for _, app := range r.apps {
+			for _, v := range variants {
+				r.jobs = append(r.jobs, Job{
+					Index: len(r.jobs), Kind: "app", Name: app.Name, Variant: v, Repeat: rep,
+				})
+			}
+		}
+		for _, sc := range r.scenarios {
+			for _, v := range variants {
+				r.jobs = append(r.jobs, Job{
+					Index: len(r.jobs), Kind: "attack", Name: sc.Name, Variant: v, Repeat: rep,
+				})
+			}
+		}
+	}
+	return r, nil
+}
+
+// prepare builds one firmware and snapshots its per-variant decode
+// caches from reference machines carrying the exact images the jobs
+// will run.
+func (r *Runner) prepare(key, file, source string) (*artifact, error) {
+	if a, ok := r.artifacts[key]; ok {
+		return a, nil
+	}
+	build, err := r.p.Build(file, source)
+	if err != nil {
+		return nil, err
+	}
+	a := &artifact{build: build}
+	if a.preBase, err = r.snapshot(build.Original.Image, false); err != nil {
+		return nil, err
+	}
+	if a.preProt, err = r.snapshot(build.Instrumented.Image, true); err != nil {
+		return nil, err
+	}
+	r.artifacts[key] = a
+	return a, nil
+}
+
+// snapshot loads img on a throwaway machine of the given variant and
+// predecodes its fetchable memory.
+func (r *Runner) snapshot(img *asm.Image, protected bool) (*isa.Predecoded, error) {
+	opts := core.MachineOptions{Config: r.p.Config()}
+	if protected {
+		opts.ROM = r.p.ROM()
+		opts.Protected = true
+	}
+	m, err := core.NewMachine(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := img.WriteTo(m.Space); err != nil {
+		return nil, err
+	}
+	return m.EnablePredecode(), nil
+}
+
+// Jobs returns the enumerated matrix in execution order.
+func (r *Runner) Jobs() []Job { return append([]Job(nil), r.jobs...) }
+
+// BuildFor returns the prepared build artifact for a matrix cell
+// (kind "app" or "attack"), or nil when the name is not in the matrix.
+// The artifact is the shared read-only product every job of that cell
+// runs; callers must not mutate it.
+func (r *Runner) BuildFor(kind, name string) *core.BuildResult {
+	if a, ok := r.artifacts[kind+"/"+name]; ok {
+		return a.build
+	}
+	return nil
+}
+
+// Workers returns the configured pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// Run executes the matrix on the worker pool and aggregates the report.
+// Per-job failures are recorded in the job's Err field rather than
+// aborting the fleet: one wild scenario must not sink the batch.
+func (r *Runner) Run() (*Report, error) {
+	start := time.Now()
+	results := pool.Do(len(r.jobs), r.workers, r.runJob)
+	return aggregate(results, r.workers, time.Since(start)), nil
+}
+
+// RunSequential executes the same matrix on one worker — the reference
+// ordering for determinism checks.
+func (r *Runner) RunSequential() (*Report, error) {
+	start := time.Now()
+	results := pool.Do(len(r.jobs), 1, r.runJob)
+	return aggregate(results, 1, time.Since(start)), nil
+}
+
+func (r *Runner) runJob(i int) JobResult {
+	job := r.jobs[i]
+	switch job.Kind {
+	case "app":
+		return r.runAppJob(job)
+	default:
+		return r.runAttackJob(job)
+	}
+}
+
+// ExecuteApp runs one application build variant on a fresh machine and
+// returns the observable inspection plus the first reset reason (empty
+// when none). pre optionally shares a decode cache built from the same
+// image; nil snapshots a private one. A non-nil error with a non-nil
+// inspection is a run error (e.g. cycle-budget exhaustion) after which
+// the partial observables are still meaningful. This is the one
+// app-run sequence both the fleet jobs and eval's Table IV measurement
+// go through.
+func ExecuteApp(p *core.Pipeline, app apps.App, build *core.BuildResult, protected bool, pre *isa.Predecoded) (*apps.Inspection, string, error) {
+	opts := core.MachineOptions{Config: p.Config()}
+	img := build.Original.Image
+	if protected {
+		opts.ROM = p.ROM()
+		opts.Protected = true
+		img = build.Instrumented.Image
+	}
+	m, err := core.NewMachine(opts)
+	if err != nil {
+		return nil, "", err
+	}
+	if err := m.LoadFirmware(img); err != nil {
+		return nil, "", err
+	}
+	if pre != nil {
+		m.UsePredecoded(pre)
+	} else {
+		m.EnablePredecode()
+	}
+	if app.UARTInput != "" {
+		m.UART.Feed([]byte(app.UARTInput))
+	}
+	m.Boot()
+	run, runErr := m.Run(app.MaxCycles)
+	insp := apps.Inspect(m, run)
+	reason := ""
+	if len(m.ResetReasons) > 0 {
+		reason = m.ResetReasons[0].Kind.String()
+	}
+	return insp, reason, runErr
+}
+
+func (r *Runner) runAppJob(job Job) JobResult {
+	res := JobResult{Job: job}
+	app, ok := apps.ByName(job.Name)
+	if !ok {
+		res.Err = fmt.Sprintf("unknown app %q", job.Name)
+		return res
+	}
+	a := r.artifacts["app/"+job.Name]
+	protected := job.Variant == VariantProtected
+
+	insp, reason, err := ExecuteApp(r.p, app, a.build, protected, a.pre(job.Variant))
+	if err != nil {
+		res.Err = err.Error()
+	}
+	if insp == nil {
+		return res
+	}
+	res.Cycles = insp.Cycles
+	res.Insns = insp.Insns
+	res.Halted = insp.Halted
+	res.ExitCode = insp.ExitCode
+	res.Resets = insp.Resets
+	res.UART = insp.UART
+	res.Reason = reason
+	if err == nil {
+		if chk := app.Check(insp); chk != nil {
+			res.Err = fmt.Sprintf("behaviour check failed: %v", chk)
+		} else {
+			res.CheckOK = true
+		}
+	}
+	return res
+}
+
+func (r *Runner) runAttackJob(job Job) JobResult {
+	res := JobResult{Job: job}
+	var sc attacks.Scenario
+	found := false
+	for _, s := range r.scenarios {
+		if s.Name == job.Name {
+			sc, found = s, true
+			break
+		}
+	}
+	if !found {
+		res.Err = fmt.Sprintf("unknown scenario %q", job.Name)
+		return res
+	}
+	a := r.artifacts["attack/"+job.Name]
+	baseT, protT := attacks.TargetsFor(r.p, a.build)
+	t := baseT
+	if job.Variant == VariantProtected {
+		t = protT
+	}
+	t.Predecoded = a.pre(job.Variant)
+
+	o, err := attacks.Execute(t, sc)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Cycles = o.Cycles
+	res.Insns = o.Insns
+	res.Halted = o.Halted
+	res.ExitCode = o.ExitCode
+	res.Resets = o.Resets
+	res.Reason = o.Reason
+	res.UART = o.UART
+	res.Compromised = o.Compromised
+	// For an attack job the "check" is the defence matrix cell: the
+	// baseline must fall, the protected device must reset un-compromised.
+	if job.Variant == VariantProtected {
+		res.CheckOK = !o.Compromised && o.Resets > 0
+	} else {
+		res.CheckOK = o.Compromised
+	}
+	return res
+}
+
+func selectApps(names []string) ([]apps.App, error) {
+	if names == nil {
+		return apps.All(), nil
+	}
+	var out []apps.App
+	for _, n := range names {
+		a, ok := apps.ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("fleet: unknown application %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func selectScenarios(names []string) ([]attacks.Scenario, error) {
+	all := attacks.Scenarios()
+	if names == nil {
+		return all, nil
+	}
+	byName := map[string]attacks.Scenario{}
+	for _, s := range all {
+		byName[s.Name] = s
+	}
+	var out []attacks.Scenario
+	for _, n := range names {
+		s, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("fleet: unknown scenario %q", n)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

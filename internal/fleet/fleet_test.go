@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"eilid/internal/core"
+)
+
+func newPipeline(t *testing.T) *core.Pipeline {
+	t.Helper()
+	p, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestFleetDeterminism is the acceptance property of the runner: the
+// full app × variant × scenario matrix on 8 workers produces per-job
+// results byte-identical to a sequential run of the same matrix.
+func TestFleetDeterminism(t *testing.T) {
+	p := newPipeline(t)
+	r, err := NewRunner(p, Spec{Workers: 8, Repeat: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := r.RunSequential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqJSON, err := seq.ResultsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parJSON, err := par.ResultsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqJSON, parJSON) {
+		for i := range seq.Results {
+			if seq.Results[i] != par.Results[i] {
+				t.Errorf("job %d diverges:\nseq: %+v\npar: %+v", i, seq.Results[i], par.Results[i])
+			}
+		}
+		t.Fatal("concurrent results differ from sequential run")
+	}
+	if seq.Workers != 1 || par.Workers != 8 {
+		t.Fatalf("worker accounting: seq=%d par=%d", seq.Workers, par.Workers)
+	}
+}
+
+// TestFleetRepeatsIdentical checks that repeats of the same job cell
+// are bit-for-bit reproducible (machines share artifacts but no state).
+func TestFleetRepeatsIdentical(t *testing.T) {
+	p := newPipeline(t)
+	r, err := NewRunner(p, Spec{
+		Apps: []string{"TempSensor"}, NoScenarios: true, Workers: 4, Repeat: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCell := map[string]JobResult{}
+	for _, jr := range rep.Results {
+		key := jr.Kind + "/" + jr.Name + "/" + string(jr.Variant)
+		ref, ok := perCell[key]
+		if !ok {
+			perCell[key] = jr
+			continue
+		}
+		// Repeats differ only in Index/Repeat bookkeeping.
+		a, b := jr, ref
+		a.Index, a.Repeat, b.Index, b.Repeat = 0, 0, 0, 0
+		if a != b {
+			t.Errorf("%s: repeat diverges:\n%+v\n%+v", key, jr, ref)
+		}
+	}
+}
+
+// TestFleetMatrixOutcomes sanity-checks the semantic content of the
+// matrix: benign apps pass their behaviour checks on both variants, and
+// every attack compromises the baseline while the protected device
+// resets without running attacker code.
+func TestFleetMatrixOutcomes(t *testing.T) {
+	p := newPipeline(t)
+	r, err := NewRunner(p, Spec{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 0 {
+		for _, jr := range rep.Results {
+			if jr.Err != "" {
+				t.Errorf("job %d (%s/%s/%s): %s", jr.Index, jr.Kind, jr.Name, jr.Variant, jr.Err)
+			}
+		}
+		t.Fatalf("%d job failures", rep.Failures)
+	}
+	for _, jr := range rep.Results {
+		if !jr.CheckOK {
+			t.Errorf("job %d (%s/%s/%s) failed its check (resets=%d reason=%q compromised=%v)",
+				jr.Index, jr.Kind, jr.Name, jr.Variant, jr.Resets, jr.Reason, jr.Compromised)
+		}
+		if jr.Kind == "attack" && jr.Variant == VariantProtected && jr.Compromised {
+			t.Errorf("attack %s compromised the protected device", jr.Name)
+		}
+	}
+	if rep.TotalCycles == 0 || rep.TotalInsns == 0 {
+		t.Fatalf("empty aggregation: %+v", rep)
+	}
+}
+
+// TestFleetSpecSelection exercises name selection and error paths.
+func TestFleetSpecSelection(t *testing.T) {
+	p := newPipeline(t)
+	if _, err := NewRunner(p, Spec{Apps: []string{"NoSuchApp"}}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := NewRunner(p, Spec{Scenarios: []string{"no-such-attack"}}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	r, err := NewRunner(p, Spec{
+		Apps: []string{"LightSensor"}, Scenarios: []string{"stack-smash"}, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := r.Jobs()
+	if len(jobs) != 4 { // 1 app × 2 variants + 1 scenario × 2 variants
+		t.Fatalf("got %d jobs, want 4", len(jobs))
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	rep.Render(&buf)
+	for _, want := range []string{"LightSensor", "stack-smash", "baseline", "protected"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("rendered report missing %q:\n%s", want, buf.String())
+		}
+	}
+}

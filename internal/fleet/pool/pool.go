@@ -1,0 +1,63 @@
+// Package pool is the deterministic worker pool underneath the fleet
+// runner and the parallel evaluation sweeps: n independent jobs run on
+// up to w workers, and the results come back indexed by job number, so
+// the output is byte-identical regardless of scheduling. It is kept
+// free of any simulator imports so every layer (attacks, eval, fleet)
+// can use it without cycles.
+package pool
+
+import "sync"
+
+// Do runs fn(0), …, fn(n-1) on up to workers goroutines and returns the
+// results in job order. fn must be safe for concurrent calls; with
+// workers <= 1 the jobs run sequentially on the calling goroutine,
+// which is the reference ordering the concurrent path must match.
+func Do[T any](n, workers int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// Err is a convenience pair for jobs that can fail: collect with Do,
+// then use First to surface the earliest failure deterministically.
+type Err[T any] struct {
+	V   T
+	Err error
+}
+
+// First returns the first error in job order, or nil.
+func First[T any](results []Err[T]) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}

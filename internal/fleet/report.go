@@ -1,0 +1,85 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Report aggregates one fleet run. Results is ordered by job index and
+// is fully deterministic; the wall-clock fields describe the run that
+// produced it and are excluded from determinism comparisons (see
+// ResultsJSON).
+type Report struct {
+	Workers       int     `json:"workers"`
+	Jobs          int     `json:"jobs"`
+	Failures      int     `json:"failures"`
+	ChecksFailed  int     `json:"checks_failed"`
+	TotalCycles   uint64  `json:"total_cycles"`
+	TotalInsns    uint64  `json:"total_insns"`
+	WallMS        float64 `json:"wall_ms"`
+	MCyclesPerSec float64 `json:"sim_mcycles_per_sec"`
+
+	Results []JobResult `json:"results"`
+}
+
+// aggregate folds job results into a report.
+func aggregate(results []JobResult, workers int, wall time.Duration) *Report {
+	rep := &Report{Workers: workers, Jobs: len(results), Results: results}
+	for _, r := range results {
+		rep.TotalCycles += r.Cycles
+		rep.TotalInsns += r.Insns
+		switch {
+		case r.Err != "":
+			// An errored job never ran its check; count it once as a
+			// failure, not again as a failed check.
+			rep.Failures++
+		case !r.CheckOK:
+			rep.ChecksFailed++
+		}
+	}
+	rep.WallMS = float64(wall.Microseconds()) / 1000
+	if s := wall.Seconds(); s > 0 {
+		rep.MCyclesPerSec = float64(rep.TotalCycles) / s / 1e6
+	}
+	return rep
+}
+
+// ResultsJSON marshals only the deterministic per-job results — the
+// byte stream that must be identical between a sequential and a
+// concurrent run of the same matrix.
+func (r *Report) ResultsJSON() ([]byte, error) {
+	return json.MarshalIndent(r.Results, "", "  ")
+}
+
+// WriteJSON emits the full report (including timing) as JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Render writes a human-readable summary table.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "fleet: %d jobs on %d workers in %.1f ms (%.2f simMcycles/s)\n",
+		r.Jobs, r.Workers, r.WallMS, r.MCyclesPerSec)
+	fmt.Fprintf(w, "%-5s %-7s %-22s %-10s %12s %10s %7s %-6s %s\n",
+		"idx", "kind", "name", "variant", "cycles", "insns", "resets", "check", "note")
+	for _, jr := range r.Results {
+		note := jr.Reason
+		if jr.Err != "" {
+			note = "ERR: " + jr.Err
+		} else if jr.Compromised {
+			note = "compromised " + note
+		}
+		check := "ok"
+		if !jr.CheckOK {
+			check = "FAIL"
+		}
+		fmt.Fprintf(w, "%-5d %-7s %-22s %-10s %12d %10d %7d %-6s %s\n",
+			jr.Index, jr.Kind, jr.Name, jr.Variant, jr.Cycles, jr.Insns, jr.Resets, check, note)
+	}
+	fmt.Fprintf(w, "totals: %d cycles, %d insns, %d failures, %d check failures\n",
+		r.TotalCycles, r.TotalInsns, r.Failures, r.ChecksFailed)
+}

@@ -1,0 +1,92 @@
+package isa
+
+// predecEntry caches one successful decode at a fixed fetch address.
+type predecEntry struct {
+	in     Instruction
+	size   uint16
+	cycles uint16
+	ok     bool
+}
+
+// Predecoded is an immutable decode cache for a fixed code image: every
+// even address in its window is decoded once, up front, so the CPU core
+// can skip both the speculative three-word fetch and Decode on warm
+// paths. A Predecoded is read-only after construction and therefore safe
+// to share between any number of machines running byte-identical code —
+// the per-ROM artifact the fleet runner builds once per application.
+//
+// Staleness is the caller's problem: the CPU core pairs a shared
+// Predecoded with a per-machine dirty map (see cpu.CPU.InvalidateCode)
+// so that writes observed on the bus force a live re-decode.
+type Predecoded struct {
+	start   uint16
+	entries []predecEntry
+}
+
+// Predecode decodes every even address in [start, end] using read to
+// fetch words. Addresses that do not decode (data, padding) simply stay
+// uncached and fall back to the live path at run time, as do the last
+// two word slots of the address space (their fetch window would wrap).
+//
+// fetchable, when non-nil, restricts caching to addresses whose whole
+// three-word fetch window it accepts. The live path speculatively reads
+// all three words through the bus, so a window that strays into
+// unmapped or peripheral space has observable side effects (bus-error
+// accounting, handler reads) the cache would skip; such addresses must
+// stay on the live path.
+func Predecode(read func(addr uint16) uint16, start, end uint16, fetchable func(addr uint16) bool) *Predecoded {
+	start &^= 1
+	n := (int(end)-int(start))/2 + 1
+	p := &Predecoded{start: start}
+	if n <= 0 {
+		return p
+	}
+	p.entries = make([]predecEntry, n)
+	for i := range p.entries {
+		addr := start + uint16(2*i)
+		if addr >= 0xFFFC {
+			continue
+		}
+		if fetchable != nil && !(fetchable(addr) && fetchable(addr+2) && fetchable(addr+4)) {
+			continue
+		}
+		words := [3]uint16{read(addr), read(addr + 2), read(addr + 4)}
+		in, _, err := Decode(words[:])
+		if err != nil {
+			continue
+		}
+		p.entries[i] = predecEntry{in: in, size: in.Size(), cycles: uint16(Cycles(in)), ok: true}
+	}
+	return p
+}
+
+// Lookup returns the cached instruction, its size in bytes and its cycle
+// cost for a fetch at addr. ok is false when addr is outside the window,
+// odd (a misaligned fetch takes the live path, which models the bus's
+// A0-ignore), or did not decode at predecode time.
+func (p *Predecoded) Lookup(addr uint16) (in Instruction, size, cycles uint16, ok bool) {
+	if p == nil || addr&1 != 0 || addr < p.start {
+		return Instruction{}, 0, 0, false
+	}
+	i := int(addr-p.start) >> 1
+	if i >= len(p.entries) || !p.entries[i].ok {
+		return Instruction{}, 0, 0, false
+	}
+	e := &p.entries[i]
+	return e.in, e.size, e.cycles, true
+}
+
+// Len reports how many addresses hold a cached decode (for tests and
+// diagnostics).
+func (p *Predecoded) Len() int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	for i := range p.entries {
+		if p.entries[i].ok {
+			n++
+		}
+	}
+	return n
+}

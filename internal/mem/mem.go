@@ -177,6 +177,13 @@ type Space struct {
 	// 0xFFFF / 0xFF, writes are dropped), mirroring openMSP430's
 	// behaviour of not trapping them.
 	BusErrors int
+
+	// WriteHook, when non-nil, observes every mutation of the backing
+	// array — CPU stores, image loads, the volatile clear on reset —
+	// with the start address and byte length. Peripheral-handler writes
+	// are not reported: they never alias fetchable memory. The decode
+	// cache (cpu.CPU.InvalidateCode) is its consumer.
+	WriteHook func(addr uint16, n int)
 }
 
 // NewSpace creates a Space with the given layout.
@@ -252,6 +259,9 @@ func (s *Space) StoreWord(addr uint16, v uint16) {
 	}
 	s.ram[addr] = byte(v)
 	s.ram[addr+1] = byte(v >> 8)
+	if s.WriteHook != nil {
+		s.WriteHook(addr, 2)
+	}
 }
 
 // LoadByte reads a byte.
@@ -294,6 +304,17 @@ func (s *Space) StoreByte(addr uint16, v uint8) {
 		return
 	}
 	s.ram[addr] = v
+	if s.WriteHook != nil {
+		s.WriteHook(addr, 1)
+	}
+}
+
+// PeekWord reads a little-endian word straight from the backing array,
+// bypassing peripheral handlers and bus-error accounting — a debugger's
+// (or predecoder's) view of memory with no side effects.
+func (s *Space) PeekWord(addr uint16) uint16 {
+	addr = align(addr)
+	return uint16(s.ram[addr]) | uint16(s.ram[addr+1])<<8
 }
 
 // LoadImage copies raw bytes into the backing array starting at addr,
@@ -305,6 +326,9 @@ func (s *Space) LoadImage(addr uint16, data []byte) error {
 		return fmt.Errorf("mem: image of %d bytes at 0x%04x exceeds address space", len(data), addr)
 	}
 	copy(s.ram[addr:], data)
+	if s.WriteHook != nil {
+		s.WriteHook(addr, len(data))
+	}
 	return nil
 }
 
@@ -328,6 +352,10 @@ func (s *Space) Reset() {
 	}
 	for a := int(s.Layout.SecureDataStart); a <= int(s.Layout.SecureDataEnd); a++ {
 		s.ram[a] = 0
+	}
+	if s.WriteHook != nil {
+		s.WriteHook(s.Layout.DMEMStart, int(s.Layout.DMEMEnd)-int(s.Layout.DMEMStart)+1)
+		s.WriteHook(s.Layout.SecureDataStart, int(s.Layout.SecureDataEnd)-int(s.Layout.SecureDataStart)+1)
 	}
 }
 
