@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test bench-smoke bench check
+.PHONY: all build vet test test-differential bench-smoke bench bench-json check
 
 all: check
 
@@ -13,12 +13,34 @@ vet:
 test:
 	$(GO) test ./...
 
+# The fast/slow differential and tick-equivalence suites are the
+# correctness contract of the hot-path optimizations; this target fails
+# if any of them is skipped or matches nothing.
+test-differential:
+	@out=$$($(GO) test -v -run 'TestDispatchDifferential|TestFastSlow|TestTickEquivalence|TestTimerTickClosedForm' \
+		./internal/mem ./internal/core ./internal/periph) || { echo "$$out"; exit 1; }; \
+	echo "$$out" | grep -q -- '--- PASS' || { echo 'no differential tests ran'; exit 1; }; \
+	if echo "$$out" | grep -q -- '--- SKIP'; then echo "$$out" | grep -- '--- SKIP'; echo 'differential tests were skipped'; exit 1; fi; \
+	echo "differential suites: $$(echo "$$out" | grep -c -- '--- PASS') passes, no skips"
+
 # One-iteration benchmark pass so throughput regressions surface in PRs
 # without burning CI minutes.
 bench-smoke:
-	$(GO) test -run='^$$' -bench=BenchmarkSimulator -benchtime=1x .
+	$(GO) test -run='^$$' -bench=BenchmarkSimulator_Throughput$$ -benchtime=1x .
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
-check: build vet test bench-smoke
+# bench-json records the performance trajectory in-repo: the simulator
+# throughput benchmarks (timed) plus the Table IV sweep (one iteration),
+# parsed into BENCH_1.json. The bench output goes through a temp file so
+# a failing/panicking benchmark fails the target instead of silently
+# writing a partial BENCH_1.json.
+bench-json:
+	$(GO) test -run='^$$' -bench='BenchmarkSimulator_Throughput' -benchtime=2s . > BENCH_1.txt.tmp
+	$(GO) test -run='^$$' -bench='BenchmarkSimulator_FleetMatrix$$|BenchmarkTable4$$' -benchtime=1x . >> BENCH_1.txt.tmp
+	$(GO) run ./cmd/eilid-benchjson -o BENCH_1.json < BENCH_1.txt.tmp
+	@rm -f BENCH_1.txt.tmp
+	@echo wrote BENCH_1.json
+
+check: build vet test test-differential bench-smoke

@@ -208,10 +208,12 @@ spin:
 `
 
 // benchmarkThroughput measures raw simulated cycles per second of host
-// time, with or without the predecoded instruction cache. The cache is
-// built once (the per-ROM artifact) and shared by every iteration's
-// machine, which is exactly how the fleet runner deploys it.
-func benchmarkThroughput(b *testing.B, predecode bool) {
+// time, with or without the predecoded instruction cache, optionally
+// with every hot-path optimization reverted to its reference
+// implementation. The cache is built once (the per-ROM artifact) and
+// shared by every iteration's machine, which is exactly how the fleet
+// runner deploys it.
+func benchmarkThroughput(b *testing.B, predecode, slowPaths bool) {
 	p := newPipeline(b)
 	prog, err := p.BuildOriginal("busy.s", busySrc)
 	if err != nil {
@@ -241,6 +243,9 @@ func benchmarkThroughput(b *testing.B, predecode bool) {
 		if pre != nil {
 			m.UsePredecoded(pre)
 		}
+		if slowPaths {
+			m.ForceSlowPaths()
+		}
 		m.Boot()
 		res, err := m.Run(10_000_000)
 		if err != nil {
@@ -252,12 +257,19 @@ func benchmarkThroughput(b *testing.B, predecode bool) {
 }
 
 // BenchmarkSimulator_Throughput is the hot path as the fleet runs it:
-// decode cache on.
-func BenchmarkSimulator_Throughput(b *testing.B) { benchmarkThroughput(b, true) }
+// decode cache on, threaded-code executors, page-table bus dispatch,
+// deadline-batched peripheral ticking.
+func BenchmarkSimulator_Throughput(b *testing.B) { benchmarkThroughput(b, true, false) }
 
 // BenchmarkSimulator_ThroughputNoPredecode is the pre-cache baseline,
 // kept for before/after comparison of the decode cache.
-func BenchmarkSimulator_ThroughputNoPredecode(b *testing.B) { benchmarkThroughput(b, false) }
+func BenchmarkSimulator_ThroughputNoPredecode(b *testing.B) { benchmarkThroughput(b, false, false) }
+
+// BenchmarkSimulator_ThroughputSlowPaths runs the decode cache with
+// every other fast path reverted (linear bus dispatch, generic
+// interpreter, per-instruction ticking) — the PR 1 configuration, kept
+// so the optimization layers' contribution stays measurable.
+func BenchmarkSimulator_ThroughputSlowPaths(b *testing.B) { benchmarkThroughput(b, true, true) }
 
 // BenchmarkSimulator_FleetMatrix executes the full application ×
 // variant × scenario matrix through the fleet runner on all CPUs —

@@ -1,0 +1,153 @@
+// Command eilid-benchjson converts `go test -bench` output read from
+// stdin into a JSON benchmark record, so the repository can track its
+// performance trajectory in-repo (see `make bench-json`, which writes
+// BENCH_1.json).
+//
+// Every benchmark result line of the form
+//
+//	BenchmarkName-8   123   4567 ns/op   89.0 simMcycles/s   12 cycles-orig
+//
+// becomes one entry carrying the iteration count, ns/op, and every
+// custom metric keyed by its unit. Non-benchmark lines (headers, PASS,
+// ok) are ignored, so the output of several go test invocations can be
+// concatenated on stdin.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Output is the file schema.
+type Output struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("eilid-benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	outPath := fs.String("o", "-", "output file (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	out, err := parse(stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if len(out.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "eilid-benchjson: no benchmark lines on stdin")
+		return 1
+	}
+
+	w := stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	return 0
+}
+
+func parse(r io.Reader) (*Output, error) {
+	out := &Output{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			out.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			out.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a benchmark name line without results
+		}
+		res := Result{
+			// Strip the -GOMAXPROCS suffix so entries compare across hosts.
+			Name:       trimProcs(fields[0]),
+			Iterations: iters,
+		}
+		// The remainder is value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("eilid-benchjson: bad value %q in %q", fields[i], line)
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				res.NsPerOp = v
+				continue
+			}
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = v
+		}
+		out.Benchmarks = append(out.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// trimProcs removes the trailing -N parallelism suffix go test appends
+// to benchmark names.
+func trimProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

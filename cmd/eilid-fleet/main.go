@@ -7,14 +7,24 @@
 // Usage:
 //
 //	eilid-fleet [-workers N] [-repeat N] [-apps a,b] [-scenarios x,y]
-//	            [-json out.json] [-verify] [-q]
+//	            [-json out.ndjson] [-verify] [-q]
+//
+// -json streams NDJSON: one JSON line per job, written and flushed as
+// the job completes (in job order), followed by one summary line with
+// the aggregate counters. The matrix is never materialized in memory,
+// so arbitrarily large scenario spaces stream in bounded space.
+// `-json -` sends the stream to stdout and implies -q, keeping the
+// stream pure NDJSON.
 //
 // -verify additionally replays the matrix sequentially and fails unless
 // the concurrent results are byte-identical — the fleet's determinism
-// contract, checkable from the command line.
+// contract, checkable from the command line. (Verification needs both
+// result sets in memory, so -verify runs aggregate rather than
+// streaming; the NDJSON output is line-identical either way.)
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"flag"
 	"fmt"
@@ -53,7 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	scenariosFlag := fs.String("scenarios", "", "comma-separated scenario subset (default: all)")
 	noApps := fs.Bool("no-apps", false, "skip the application dimension")
 	noScenarios := fs.Bool("no-scenarios", false, "skip the attack dimension")
-	jsonOut := fs.String("json", "", "write the full report as JSON to this file (- for stdout)")
+	jsonOut := fs.String("json", "", "stream the results as NDJSON (one line per job + a summary line) to this file (- for stdout)")
 	verify := fs.Bool("verify", false, "replay sequentially and require byte-identical results")
 	quiet := fs.Bool("q", false, "suppress the per-job table")
 	if err := fs.Parse(args); err != nil {
@@ -81,35 +91,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	report, err := runner.Run()
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
-	}
-
-	if *verify {
-		seq, err := runner.RunSequential()
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 1
-		}
-		a, errA := report.ResultsJSON()
-		b, errB := seq.ResultsJSON()
-		if errA != nil || errB != nil {
-			fmt.Fprintln(stderr, "verify: marshalling failed:", errA, errB)
-			return 1
-		}
-		if !bytes.Equal(a, b) {
-			fmt.Fprintln(stderr, "verify: FAILED — concurrent results differ from the sequential replay")
-			return 1
-		}
-		fmt.Fprintf(stdout, "verify: %d-worker run byte-identical to sequential replay (%d jobs)\n",
-			report.Workers, report.Jobs)
-	}
-
-	if !*quiet {
-		report.Render(stdout)
-	}
+	// The NDJSON sink: a flushed writer when -json is set, else nil.
+	var jsonW *bufio.Writer
 	if *jsonOut != "" {
 		w := stdout
 		if *jsonOut != "-" {
@@ -120,8 +103,95 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			defer f.Close()
 			w = f
+		} else {
+			// stdout is the NDJSON stream: interleaving the human table
+			// would corrupt it for line-oriented consumers.
+			*quiet = true
 		}
-		if err := report.WriteJSON(w); err != nil {
+		jsonW = bufio.NewWriter(w)
+	}
+
+	emit := func(jr fleet.JobResult) error {
+		if !*quiet {
+			jr.RenderRow(stdout)
+		}
+		if jsonW != nil {
+			if err := fleet.WriteNDJSONLine(jsonW, jr); err != nil {
+				return err
+			}
+			// Flush per job: a consumer tailing the file sees every
+			// result the moment its job (and its predecessors) finish.
+			return jsonW.Flush()
+		}
+		return nil
+	}
+
+	var report *fleet.Report
+	if *verify {
+		// Verification compares the full concurrent result set against a
+		// sequential replay, so this path aggregates in memory.
+		rep, err := runner.Run()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		seq, err := runner.RunSequential()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		a, errA := rep.ResultsJSON()
+		b, errB := seq.ResultsJSON()
+		if errA != nil || errB != nil {
+			fmt.Fprintln(stderr, "verify: marshalling failed:", errA, errB)
+			return 1
+		}
+		if !bytes.Equal(a, b) {
+			fmt.Fprintln(stderr, "verify: FAILED — concurrent results differ from the sequential replay")
+			return 1
+		}
+		fmt.Fprintf(stdout, "verify: %d-worker run byte-identical to sequential replay (%d jobs)\n",
+			rep.Workers, rep.Jobs)
+		if !*quiet {
+			fleet.RenderTableHeader(stdout)
+		}
+		for _, jr := range rep.Results {
+			if err := emit(jr); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+		}
+		report = rep
+	} else {
+		if !*quiet {
+			fleet.RenderTableHeader(stdout)
+		}
+		var emitErr error
+		rep, err := runner.RunStream(func(jr fleet.JobResult) {
+			if emitErr == nil {
+				emitErr = emit(jr)
+			}
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if emitErr != nil {
+			fmt.Fprintln(stderr, emitErr)
+			return 1
+		}
+		report = rep
+	}
+
+	if !*quiet {
+		report.RenderSummary(stdout)
+	}
+	if jsonW != nil {
+		if err := report.WriteSummaryNDJSONLine(jsonW); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := jsonW.Flush(); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}

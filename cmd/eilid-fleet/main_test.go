@@ -22,8 +22,30 @@ func TestFleetSmallMatrix(t *testing.T) {
 	}
 }
 
+// parseNDJSON splits an NDJSON stream into per-job lines and the final
+// summary line, validating every line is standalone JSON.
+func parseNDJSON(t *testing.T, raw []byte) (jobs []map[string]any, summary map[string]any) {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("NDJSON stream has %d lines, want >= 2 (jobs + summary):\n%s", len(lines), raw)
+	}
+	for i, line := range lines {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		if i == len(lines)-1 {
+			summary = v
+		} else {
+			jobs = append(jobs, v)
+		}
+	}
+	return jobs, summary
+}
+
 func TestFleetVerifyAndJSON(t *testing.T) {
-	path := t.TempDir() + "/report.json"
+	path := t.TempDir() + "/report.ndjson"
 	var out, errb strings.Builder
 	code := run([]string{
 		"-apps", "TempSensor", "-no-scenarios", "-workers", "8", "-repeat", "2",
@@ -39,22 +61,68 @@ func TestFleetVerifyAndJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var rep struct {
-		Workers int `json:"workers"`
-		Jobs    int `json:"jobs"`
-		Results []struct {
-			Name   string `json:"name"`
-			Cycles uint64 `json:"cycles"`
-		} `json:"results"`
+	jobs, summary := parseNDJSON(t, raw)
+	if len(jobs) != 4 {
+		t.Fatalf("got %d job lines, want 4", len(jobs))
 	}
-	if err := json.Unmarshal(raw, &rep); err != nil {
-		t.Fatalf("report is not valid JSON: %v", err)
+	if jobs[0]["name"] != "TempSensor" || jobs[0]["cycles"].(float64) == 0 {
+		t.Fatalf("unexpected first result: %+v", jobs[0])
 	}
-	if rep.Workers != 8 || rep.Jobs != 4 || len(rep.Results) != 4 {
-		t.Fatalf("unexpected report shape: %+v", rep)
+	if summary["workers"].(float64) != 8 || summary["jobs"].(float64) != 4 {
+		t.Fatalf("unexpected summary: %+v", summary)
 	}
-	if rep.Results[0].Name != "TempSensor" || rep.Results[0].Cycles == 0 {
-		t.Fatalf("unexpected first result: %+v", rep.Results[0])
+	if _, ok := summary["results"]; ok {
+		t.Fatalf("summary line must not embed the results array: %+v", summary)
+	}
+}
+
+// TestFleetJSONStreamsDeterministically: the streamed (non-verify)
+// NDJSON output must be byte-identical to the verify path's, which in
+// turn is pinned to the sequential replay — so streaming loses no
+// determinism. The summary line is compared without its wall-clock
+// fields.
+func TestFleetJSONStreamsDeterministically(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(name string, extra ...string) []byte {
+		t.Helper()
+		path := dir + "/" + name
+		var out, errb strings.Builder
+		args := append([]string{
+			"-apps", "LightSensor", "-scenarios", "rop-chain", "-workers", "6",
+			"-q", "-json", path,
+		}, extra...)
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("exit %d, stderr: %s\n%s", code, errb.String(), out.String())
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	streamed := runOnce("streamed.ndjson")
+	verified := runOnce("verified.ndjson", "-verify")
+
+	sJobs, sSum := parseNDJSON(t, streamed)
+	vJobs, vSum := parseNDJSON(t, verified)
+	if len(sJobs) != len(vJobs) {
+		t.Fatalf("job line counts differ: %d vs %d", len(sJobs), len(vJobs))
+	}
+	for i := range sJobs {
+		a, _ := json.Marshal(sJobs[i])
+		b, _ := json.Marshal(vJobs[i])
+		if string(a) != string(b) {
+			t.Errorf("job line %d differs:\n%s\n%s", i, a, b)
+		}
+	}
+	for _, wall := range []string{"wall_ms", "sim_mcycles_per_sec"} {
+		delete(sSum, wall)
+		delete(vSum, wall)
+	}
+	a, _ := json.Marshal(sSum)
+	b, _ := json.Marshal(vSum)
+	if string(a) != string(b) {
+		t.Errorf("summaries differ:\n%s\n%s", a, b)
 	}
 }
 

@@ -55,7 +55,22 @@ type Machine struct {
 	// ResetReasons records the violation behind each reset.
 	ResetReasons []casu.Violation
 
+	// EagerTicks forces per-instruction peripheral ticking (the
+	// reference semantics) instead of deadline-batched ticking in
+	// Run/RunUntilReset. The two are cycle-exactly equivalent; the
+	// differential tests in this package assert that.
+	EagerTicks bool
+
 	ctl *simCtl
+
+	// cycled are the clocked peripherals the run loop batches, in the
+	// order per-instruction ticking historically advanced them.
+	cycled []periph.Cycled
+	// tickAt is the earliest absolute cycle any peripheral next acts on
+	// its own; hGen snapshots Space.HandlerStores so a register write
+	// that may move a deadline forces a resync.
+	tickAt uint64
+	hGen   uint64
 }
 
 // MachineOptions configures NewMachine.
@@ -85,16 +100,21 @@ func NewMachine(opts MachineOptions) (*Machine, error) {
 	// cache is installed via EnablePredecode/UsePredecoded.
 	space.WriteHook = m.CPU.InvalidateCode
 
+	clock := func() uint64 { return m.CPU.Cycles }
 	m.Port1 = periph.NewGPIO(periph.P1INAddr, m.IRQ, periph.IRQPort1)
 	m.Port2 = periph.NewGPIO(periph.P2INAddr, m.IRQ, periph.IRQPort1)
-	m.Port1.Clock = func() uint64 { return m.CPU.Cycles }
-	m.Port2.Clock = func() uint64 { return m.CPU.Cycles }
+	m.Port1.Clock = clock
+	m.Port2.Clock = clock
 	m.TimerA = periph.NewTimer(0x0160, m.IRQ, periph.IRQTimerA)
 	m.ADC = periph.NewADC(m.IRQ, periph.IRQADC)
 	m.UART = periph.NewUART(m.IRQ, periph.IRQUART)
 	m.LCD = periph.NewLCD()
 	m.Ranger = periph.NewUltrasonic(m.IRQ, periph.IRQUltrasonic)
 	m.Latch = &periph.ViolationLatch{}
+	m.TimerA.Clock = clock
+	m.ADC.Clock = clock
+	m.Ranger.Clock = clock
+	m.cycled = []periph.Cycled{m.TimerA, m.ADC, m.Ranger}
 
 	// Default sensor wiring matching the benchmark applications:
 	// channel 0 = ambient light, 1 = temperature, 2 = flame detector.
@@ -164,6 +184,51 @@ func (m *Machine) Boot() {
 		m.Monitor.Clear()
 	}
 	m.CPU.Reset(m.Space.Layout.ResetVector())
+	// The 4-cycle reset latency is not delivered to peripherals (it
+	// never was under per-instruction ticking, whose cycles come only
+	// from executed instructions); re-anchor past it.
+	m.resyncPeriph()
+}
+
+// syncPeriph ticks every clocked peripheral up to the CPU's cycle
+// counter and refreshes the batch deadline.
+func (m *Machine) syncPeriph() {
+	now := m.CPU.Cycles
+	for _, p := range m.cycled {
+		p.SyncTo(now)
+	}
+	m.refreshDeadline()
+}
+
+// syncPeriphTo ticks every clocked peripheral up to the given cycle
+// without refreshing the deadline — the run loop uses it to deliver the
+// completed instructions of a batch before a device reset re-anchors.
+func (m *Machine) syncPeriphTo(cycle uint64) {
+	for _, p := range m.cycled {
+		p.SyncTo(cycle)
+	}
+}
+
+// resyncPeriph re-anchors every clocked peripheral at the CPU's cycle
+// counter without ticking the elapsed time — used where per-instruction
+// ticking historically dropped cycles (device resets, CPU faults).
+func (m *Machine) resyncPeriph() {
+	now := m.CPU.Cycles
+	for _, p := range m.cycled {
+		p.Resync(now)
+	}
+	m.refreshDeadline()
+}
+
+func (m *Machine) refreshDeadline() {
+	m.hGen = m.Space.HandlerStores()
+	d := uint64(periph.NoEvent)
+	for _, p := range m.cycled {
+		if e := p.NextEvent(); e < d {
+			d = e
+		}
+	}
+	m.tickAt = d
 }
 
 // EnablePredecode snapshots the fetchable upper memory (user PMEM
@@ -196,6 +261,17 @@ func (m *Machine) EnablePredecode() *isa.Predecoded {
 // cache matches this machine's memory right now.
 func (m *Machine) UsePredecoded(p *isa.Predecoded) { m.CPU.SetPredecoded(p) }
 
+// ForceSlowPaths reverts every hot-path optimization to its reference
+// implementation: linear bus dispatch, the generic (non-threaded)
+// interpreter with interface bus accesses, and per-instruction
+// peripheral ticking. Execution must be cycle-exactly identical either
+// way; the fast/slow differential tests run machines in this mode.
+func (m *Machine) ForceSlowPaths() {
+	m.Space.SetLinearDispatch(true)
+	m.CPU.SetFastPaths(false)
+	m.EagerTicks = true
+}
+
 // Halted reports whether firmware wrote the simulation-control register.
 func (m *Machine) Halted() bool { return m.ctl.halted }
 
@@ -212,7 +288,7 @@ func (m *Machine) deviceReset(v casu.Violation) {
 	m.Boot()
 }
 
-// Step executes one CPU step, ticks the peripherals and applies the
+// Step executes one CPU step, syncs the peripherals and applies the
 // reset-on-violation rule. It returns the cycles consumed.
 func (m *Machine) Step() (int, error) {
 	n, err := m.CPU.Step()
@@ -228,11 +304,12 @@ func (m *Machine) Step() (int, error) {
 	if err != nil {
 		// A decode fault on real hardware executes garbage; under EILID
 		// the W⊕X/immutability monitors normally fire first. Surface it.
+		// A faulting step consumes no cycles, so syncing here only
+		// delivers the cycles of completed instructions.
+		m.syncPeriph()
 		return n, err
 	}
-	m.TimerA.Tick(n)
-	m.ADC.Tick(n)
-	m.Ranger.Tick(n)
+	m.syncPeriph()
 	return n, nil
 }
 
@@ -253,6 +330,25 @@ var ErrCycleBudget = errors.New("core: cycle budget exhausted before halt")
 // Run executes until the firmware halts via the simulation-control
 // register, a fault occurs, or maxCycles elapse.
 func (m *Machine) Run(maxCycles uint64) (RunResult, error) {
+	return m.runLoop(maxCycles, false)
+}
+
+// RunUntilReset executes until a monitor reset happens (attack testing),
+// the firmware halts, or maxCycles elapse.
+func (m *Machine) RunUntilReset(maxCycles uint64) (RunResult, error) {
+	return m.runLoop(maxCycles, true)
+}
+
+// runLoop is the hot simulation loop. Unlike Step, it ticks the clocked
+// peripherals in batches: each reports the absolute cycle it next acts
+// on its own (interrupt, conversion complete), and between that
+// deadline and the next peripheral-register write the loop runs the CPU
+// back to back. Register accesses in between observe exact state via
+// the peripherals' lazy catch-up (periph.Cycled), so batching is
+// cycle-exactly equivalent to per-instruction ticking — set EagerTicks
+// to force the reference behaviour and the differential tests to prove
+// it.
+func (m *Machine) runLoop(maxCycles uint64, untilReset bool) (RunResult, error) {
 	startCycles, startInsns, startResets := m.CPU.Cycles, m.CPU.Insns, m.ResetCount
 	// A zero budget can execute nothing: report it as an exhausted
 	// budget unconditionally, so callers can tell it apart from a clean
@@ -260,32 +356,62 @@ func (m *Machine) Run(maxCycles uint64) (RunResult, error) {
 	if maxCycles == 0 {
 		return m.result(startCycles, startInsns, startResets), ErrCycleBudget
 	}
-	for !m.ctl.halted {
-		if m.CPU.Cycles-startCycles >= maxCycles {
-			return m.result(startCycles, startInsns, startResets), ErrCycleBudget
+	stop := startCycles + maxCycles
+	if stop < startCycles { // saturate on overflow
+		stop = ^uint64(0)
+	}
+	cpu := m.CPU
+	space := m.Space
+	ctl := m.ctl
+	mon := m.Monitor
+	m.syncPeriph() // anchor the deadline and write generation
+	// limit fuses the cycle budget and the earliest peripheral deadline
+	// into the single comparison the hot loop makes per instruction; a
+	// peripheral-register write (HandlerStores) also forces the slow
+	// branch, where budget exhaustion and tick batching are told apart.
+	// Under EagerTicks the limit stays 0 so every iteration syncs.
+	newLimit := func() uint64 {
+		if m.EagerTicks {
+			return 0
 		}
-		if _, err := m.Step(); err != nil {
+		if m.tickAt < stop {
+			return m.tickAt
+		}
+		return stop
+	}
+	limit := newLimit()
+	for !ctl.halted {
+		if untilReset && m.ResetCount != startResets {
+			break
+		}
+		if cpu.Cycles >= limit || space.HandlerStores() != m.hGen {
+			if cpu.Cycles >= stop {
+				m.syncPeriph()
+				return m.result(startCycles, startInsns, startResets), ErrCycleBudget
+			}
+			m.syncPeriph()
+			limit = newLimit()
+		}
+		pre := cpu.Cycles
+		_, err := cpu.Step()
+		if mon != nil {
+			if v := mon.Violation(); v != nil {
+				// Per-instruction ticking delivered every completed
+				// instruction's cycles and dropped only the violating
+				// one's; match that before the reset re-anchors.
+				m.syncPeriphTo(pre)
+				m.deviceReset(*v)
+				limit = newLimit()
+				continue
+			}
+		}
+		if err != nil {
+			// A faulting step consumes no cycles (see Machine.Step).
+			m.syncPeriph()
 			return m.result(startCycles, startInsns, startResets), err
 		}
 	}
-	return m.result(startCycles, startInsns, startResets), nil
-}
-
-// RunUntilReset executes until a monitor reset happens (attack testing),
-// the firmware halts, or maxCycles elapse.
-func (m *Machine) RunUntilReset(maxCycles uint64) (RunResult, error) {
-	startCycles, startInsns, startResets := m.CPU.Cycles, m.CPU.Insns, m.ResetCount
-	if maxCycles == 0 {
-		return m.result(startCycles, startInsns, startResets), ErrCycleBudget
-	}
-	for !m.ctl.halted && m.ResetCount == startResets {
-		if m.CPU.Cycles-startCycles >= maxCycles {
-			return m.result(startCycles, startInsns, startResets), ErrCycleBudget
-		}
-		if _, err := m.Step(); err != nil {
-			return m.result(startCycles, startInsns, startResets), err
-		}
-	}
+	m.syncPeriph()
 	return m.result(startCycles, startInsns, startResets), nil
 }
 

@@ -27,6 +27,18 @@ type Bus interface {
 	StoreByte(addr uint16, v uint8)
 }
 
+// DirectBus is an optional Bus refinement (implemented by mem.Space)
+// exposing the backing slab and per-address plain-memory flags so the
+// core can inline accesses to plain RAM without an interface call. The
+// fast path reproduces the bus semantics for such addresses exactly:
+// word alignment, little-endian layout, and the live write hook. All
+// other addresses (peripheral handlers, unmapped space with its
+// bus-error accounting) go through the Bus methods unchanged.
+type DirectBus interface {
+	Bus
+	Direct() (slab *[1 << 16]byte, plain *[1 << 16]bool, hook *func(addr uint16, n int))
+}
+
 // Watcher observes architectural events. All methods are called
 // synchronously during Step; a nil watcher disables observation.
 type Watcher interface {
@@ -88,11 +100,23 @@ type CPU struct {
 
 	prevPC uint16
 
-	// pre is an optional shared read-only decode cache; dirty marks word
-	// addresses whose predecoded entry may be stale because a bus write
-	// landed in its fetch window (1 bit per word address, lazily built).
-	pre   *isa.Predecoded
-	dirty []uint64
+	// pre is an optional shared read-only decode cache; preStart and
+	// preEntries mirror its table so the warm-path lookup needs no
+	// pointer chase through the cache object. dirty marks word addresses
+	// whose predecoded entry may be stale because a bus write landed in
+	// its fetch window (1 bit per word address, lazily built).
+	pre        *isa.Predecoded
+	preStart   uint16
+	preEntries []isa.Entry
+	dirty      []uint64
+
+	// slab/plain/hook are the DirectBus fast path (nil on plain buses);
+	// slowMode forces the generic interpreter and the interface bus path
+	// for differential testing.
+	slab     *[1 << 16]byte
+	plain    *[1 << 16]bool
+	hook     *func(addr uint16, n int)
+	slowMode bool
 }
 
 // dirtyWords is the size of the stale bitmap: one bit per word address.
@@ -100,8 +124,19 @@ const dirtyWords = 1 << 15
 
 // New creates a CPU attached to the bus. Call Reset before stepping.
 func New(bus Bus) *CPU {
-	return &CPU{bus: bus}
+	c := &CPU{bus: bus}
+	if d, ok := bus.(DirectBus); ok {
+		c.slab, c.plain, c.hook = d.Direct()
+	}
+	return c
 }
+
+// SetFastPaths enables (the default) or disables the warm-path
+// threaded-code executors and the direct RAM access, reverting every
+// hot-path shortcut to the generic interpreter driving the Bus
+// interface. Execution is bit-identical either way; the differential
+// tests in internal/core assert that.
+func (c *CPU) SetFastPaths(on bool) { c.slowMode = !on }
 
 // PC returns the program counter.
 func (c *CPU) PC() uint16 { return c.R[isa.PC] }
@@ -122,6 +157,7 @@ func (c *CPU) PrevPC() uint16 { return c.prevPC }
 // cache matches memory at this instant.
 func (c *CPU) SetPredecoded(p *isa.Predecoded) {
 	c.pre = p
+	c.preStart, c.preEntries = p.Table()
 	c.dirty = nil
 }
 
@@ -183,12 +219,23 @@ func (c *CPU) loadWord(pc, addr uint16) uint16 {
 	if c.Watch != nil {
 		c.Watch.OnRead(pc, addr, false)
 	}
+	if a := addr &^ 1; c.slab != nil && !c.slowMode && c.plain[a] {
+		return uint16(c.slab[a]) | uint16(c.slab[a+1])<<8
+	}
 	return c.bus.LoadWord(addr)
 }
 
 func (c *CPU) storeWord(pc, addr, v uint16) {
 	if c.Watch != nil {
 		c.Watch.OnWrite(pc, addr, false, v)
+	}
+	if a := addr &^ 1; c.slab != nil && !c.slowMode && c.plain[a] {
+		c.slab[a] = byte(v)
+		c.slab[a+1] = byte(v >> 8)
+		if h := *c.hook; h != nil {
+			h(a, 2)
+		}
+		return
 	}
 	c.bus.StoreWord(addr, v)
 }
@@ -197,12 +244,22 @@ func (c *CPU) loadByte(pc, addr uint16) uint8 {
 	if c.Watch != nil {
 		c.Watch.OnRead(pc, addr, true)
 	}
+	if c.slab != nil && !c.slowMode && c.plain[addr] {
+		return c.slab[addr]
+	}
 	return c.bus.LoadByte(addr)
 }
 
 func (c *CPU) storeByte(pc, addr uint16, v uint8) {
 	if c.Watch != nil {
 		c.Watch.OnWrite(pc, addr, true, uint16(v))
+	}
+	if c.slab != nil && !c.slowMode && c.plain[addr] {
+		c.slab[addr] = v
+		if h := *c.hook; h != nil {
+			h(addr, 1)
+		}
+		return
 	}
 	c.bus.StoreByte(addr, v)
 }
@@ -262,16 +319,26 @@ func (c *CPU) Step() (int, error) {
 	}
 
 	// Warm path: a predecoded entry that no write has touched skips the
-	// speculative fetch and the decoder entirely.
-	if in, size, cyc, ok := c.pre.Lookup(pc); ok && !c.staleAt(pc) {
-		c.R[isa.PC] = pc + size
-		c.prevPC = pc
-		if err := c.execute(pc, in); err != nil {
-			return 0, &ExecError{PC: pc, Err: err}
+	// speculative fetch and the decoder entirely; its threaded-code
+	// lowering additionally skips the format switch and operand
+	// resolution.
+	if i := int(pc-c.preStart) >> 1; pc&1 == 0 && pc >= c.preStart && i < len(c.preEntries) {
+		if e := &c.preEntries[i]; e.OK && !c.staleAt(pc) {
+			c.R[isa.PC] = pc + e.Size
+			c.prevPC = pc
+			var err error
+			if e.Fast && !c.slowMode {
+				err = c.execUOp(pc, &e.U)
+			} else {
+				err = c.execute(pc, e.In)
+			}
+			if err != nil {
+				return 0, &ExecError{PC: pc, Err: err}
+			}
+			c.Cycles += uint64(e.Cycles)
+			c.Insns++
+			return int(c.Cycles - start), nil
 		}
-		c.Cycles += uint64(cyc)
-		c.Insns++
-		return int(c.Cycles - start), nil
 	}
 
 	// Fetch up to the maximum instruction length. Instruction fetches are
@@ -493,29 +560,31 @@ func (c *CPU) execute(pc uint16, in isa.Instruction) error {
 	}
 }
 
-func (c *CPU) execJump(pc uint16, in isa.Instruction) error {
+// jumpTaken evaluates a format III condition against the status register.
+func (c *CPU) jumpTaken(op isa.Opcode) bool {
 	sr := c.R[isa.SR]
 	cf, zf, nf, vf := sr&isa.FlagC != 0, sr&isa.FlagZ != 0, sr&isa.FlagN != 0, sr&isa.FlagV != 0
-	take := false
-	switch in.Op {
+	switch op {
 	case isa.JNE:
-		take = !zf
+		return !zf
 	case isa.JEQ:
-		take = zf
+		return zf
 	case isa.JNC:
-		take = !cf
+		return !cf
 	case isa.JC:
-		take = cf
+		return cf
 	case isa.JN:
-		take = nf
+		return nf
 	case isa.JGE:
-		take = nf == vf
+		return nf == vf
 	case isa.JL:
-		take = nf != vf
-	case isa.JMP:
-		take = true
+		return nf != vf
 	}
-	if take {
+	return true // JMP
+}
+
+func (c *CPU) execJump(pc uint16, in isa.Instruction) error {
+	if c.jumpTaken(in.Op) {
 		c.R[isa.PC] = pc + 2 + 2*uint16(in.JumpOffset)
 	}
 	return nil
@@ -548,29 +617,36 @@ func (c *CPU) execFormat2(pc uint16, in isa.Instruction) error {
 		extAddr = pc + uint16(srcOff)
 	}
 	l := c.resolve(pc, in.Src, extAddr, in.Byte)
-	v := c.readLoc(pc, l, in.Byte)
-	_, sign := width(in.Byte)
+	return c.doFormat2(pc, in.Op, in.Byte, l)
+}
 
-	switch in.Op {
+// doFormat2 executes a single-operand instruction on a resolved
+// location — the tail shared by the generic interpreter and the
+// threaded-code path.
+func (c *CPU) doFormat2(pc uint16, op isa.Opcode, byteOp bool, l loc) error {
+	v := c.readLoc(pc, l, byteOp)
+	_, sign := width(byteOp)
+
+	switch op {
 	case isa.RRC:
 		carryIn := uint16(0)
 		if c.Flag(isa.FlagC) {
 			carryIn = sign
 		}
 		r := v>>1 | carryIn
-		f := nz(r, in.Byte)
+		f := nz(r, byteOp)
 		if v&1 != 0 {
 			f |= isa.FlagC
 		}
-		c.writeLoc(pc, l, in.Byte, r)
+		c.writeLoc(pc, l, byteOp, r)
 		c.setFlags(f, allFlags)
 	case isa.RRA:
 		r := v>>1 | v&sign
-		f := nz(r, in.Byte)
+		f := nz(r, byteOp)
 		if v&1 != 0 {
 			f |= isa.FlagC
 		}
-		c.writeLoc(pc, l, in.Byte, r)
+		c.writeLoc(pc, l, byteOp, r)
 		c.setFlags(f, allFlags)
 	case isa.SWPB:
 		c.writeLoc(pc, l, false, v>>8|v<<8)
@@ -586,7 +662,7 @@ func (c *CPU) execFormat2(pc uint16, in isa.Instruction) error {
 		c.writeLoc(pc, l, false, r)
 		c.setFlags(f, allFlags)
 	case isa.PUSH:
-		if in.Byte {
+		if byteOp {
 			c.R[isa.SP] -= 2
 			c.storeByte(pc, c.R[isa.SP], uint8(v))
 		} else {
@@ -596,7 +672,7 @@ func (c *CPU) execFormat2(pc uint16, in isa.Instruction) error {
 		c.push(pc, c.R[isa.PC])
 		c.R[isa.PC] = v
 	default:
-		return fmt.Errorf("unhandled format II opcode %v", in.Op)
+		return fmt.Errorf("unhandled format II opcode %v", op)
 	}
 	return nil
 }
@@ -604,78 +680,260 @@ func (c *CPU) execFormat2(pc uint16, in isa.Instruction) error {
 func (c *CPU) execFormat1(pc uint16, in isa.Instruction) error {
 	src := c.srcValue(pc, in)
 	dl := c.dstLoc(pc, in)
+	return c.doFormat1(pc, in.Op, in.Byte, src, dl)
+}
 
+// doFormat1 executes a double-operand instruction given the evaluated
+// source and the resolved destination — the tail shared by the generic
+// interpreter and the threaded-code path.
+func (c *CPU) doFormat1(pc uint16, op isa.Opcode, byteOp bool, src uint16, dl loc) error {
 	// MOV/BIC/BIS don't need the old destination value for flags, but
 	// BIC/BIS need it for the operation itself.
 	var dst uint16
-	if in.Op != isa.MOV {
-		dst = c.readLoc(pc, dl, in.Byte)
+	if op != isa.MOV {
+		dst = c.readLoc(pc, dl, byteOp)
 	}
-	mask, sign := width(in.Byte)
+	mask, sign := width(byteOp)
 	carry := uint16(0)
 	if c.Flag(isa.FlagC) {
 		carry = 1
 	}
 
-	switch in.Op {
+	switch op {
 	case isa.MOV:
-		c.writeLoc(pc, dl, in.Byte, src)
+		c.writeLoc(pc, dl, byteOp, src)
 	case isa.ADD:
-		r, f := addFlags(src, dst, 0, in.Byte)
-		c.writeLoc(pc, dl, in.Byte, r)
+		r, f := addFlags(src, dst, 0, byteOp)
+		c.writeLoc(pc, dl, byteOp, r)
 		c.setFlags(f, allFlags)
 	case isa.ADDC:
-		r, f := addFlags(src, dst, carry, in.Byte)
-		c.writeLoc(pc, dl, in.Byte, r)
+		r, f := addFlags(src, dst, carry, byteOp)
+		c.writeLoc(pc, dl, byteOp, r)
 		c.setFlags(f, allFlags)
 	case isa.SUB:
-		r, f := addFlags(^src&mask, dst, 1, in.Byte)
-		c.writeLoc(pc, dl, in.Byte, r)
+		r, f := addFlags(^src&mask, dst, 1, byteOp)
+		c.writeLoc(pc, dl, byteOp, r)
 		c.setFlags(f, allFlags)
 	case isa.SUBC:
-		r, f := addFlags(^src&mask, dst, carry, in.Byte)
-		c.writeLoc(pc, dl, in.Byte, r)
+		r, f := addFlags(^src&mask, dst, carry, byteOp)
+		c.writeLoc(pc, dl, byteOp, r)
 		c.setFlags(f, allFlags)
 	case isa.CMP:
-		_, f := addFlags(^src&mask, dst, 1, in.Byte)
+		_, f := addFlags(^src&mask, dst, 1, byteOp)
 		c.setFlags(f, allFlags)
 	case isa.DADD:
 		// V is architecturally undefined after DADD; we clear it.
-		r, f := dadd(src, dst, carry, in.Byte)
-		c.writeLoc(pc, dl, in.Byte, r)
+		r, f := dadd(src, dst, carry, byteOp)
+		c.writeLoc(pc, dl, byteOp, r)
 		c.setFlags(f, allFlags)
 	case isa.BIT:
 		r := src & dst & mask
-		f := nz(r, in.Byte)
+		f := nz(r, byteOp)
 		if r != 0 {
 			f |= isa.FlagC
 		}
 		c.setFlags(f, allFlags)
 	case isa.BIC:
-		c.writeLoc(pc, dl, in.Byte, dst&^src)
+		c.writeLoc(pc, dl, byteOp, dst&^src)
 	case isa.BIS:
-		c.writeLoc(pc, dl, in.Byte, dst|src)
+		c.writeLoc(pc, dl, byteOp, dst|src)
 	case isa.XOR:
 		r := (src ^ dst) & mask
-		f := nz(r, in.Byte)
+		f := nz(r, byteOp)
 		if r != 0 {
 			f |= isa.FlagC
 		}
 		if src&sign != 0 && dst&sign != 0 {
 			f |= isa.FlagV
 		}
-		c.writeLoc(pc, dl, in.Byte, r)
+		c.writeLoc(pc, dl, byteOp, r)
 		c.setFlags(f, allFlags)
 	case isa.AND:
 		r := src & dst & mask
-		f := nz(r, in.Byte)
+		f := nz(r, byteOp)
 		if r != 0 {
 			f |= isa.FlagC
 		}
-		c.writeLoc(pc, dl, in.Byte, r)
+		c.writeLoc(pc, dl, byteOp, r)
 		c.setFlags(f, allFlags)
 	default:
-		return fmt.Errorf("unhandled format I opcode %v", in.Op)
+		return fmt.Errorf("unhandled format I opcode %v", op)
+	}
+	return nil
+}
+
+// --- threaded-code execution --------------------------------------------
+
+// execUOp executes one predecoded micro-op. The operand shapes were
+// lowered at predecode time (isa.LowerUOp), so no format switch,
+// extension-word arithmetic or addressing-mode resolution happens here;
+// the op bodies and every bus/watcher interaction are shared with the
+// generic interpreter, keeping the two paths bit-identical.
+func (c *CPU) execUOp(pc uint16, u *isa.UOp) error {
+	switch u.Class {
+	case isa.UFmt1Reg:
+		return c.execFmt1Reg(pc, u)
+	case isa.UJump:
+		if c.jumpTaken(u.Op) {
+			c.R[isa.PC] = u.Target
+		}
+		return nil
+	case isa.UReti:
+		sp := c.R[isa.SP]
+		c.R[isa.SR] = c.loadWord(pc, sp)
+		c.R[isa.PC] = c.loadWord(pc, sp+2)
+		c.R[isa.SP] = sp + 4
+		return nil
+	case isa.UFmt2:
+		if u.SrcK == isa.SrcConst {
+			// Lowering only emits constants for PUSH and CALL (the ops
+			// whose immediate form is architecturally valid).
+			v := u.SrcVal
+			if u.Op == isa.PUSH {
+				if u.Byte {
+					c.R[isa.SP] -= 2
+					c.storeByte(pc, c.R[isa.SP], uint8(v))
+				} else {
+					c.push(pc, v)
+				}
+				return nil
+			}
+			c.push(pc, c.R[isa.PC])
+			c.R[isa.PC] = v
+			return nil
+		}
+		return c.doFormat2(pc, u.Op, u.Byte, c.uLoc(u.SrcK, u.SrcReg, u.SrcVal, u.Inc))
+	}
+	src := c.uSrc(pc, u)
+	var dl loc
+	switch u.DstK {
+	case isa.DstRegK:
+		dl = loc{isReg: true, reg: u.DstReg}
+	case isa.DstMemConst:
+		dl = loc{ea: u.DstVal}
+	default: // DstMemReg
+		dl = loc{ea: c.R[u.DstReg] + u.DstVal}
+	}
+	return c.doFormat1(pc, u.Op, u.Byte, src, dl)
+}
+
+// uSrc evaluates a lowered source operand, performing any
+// auto-increment side effect.
+func (c *CPU) uSrc(pc uint16, u *isa.UOp) uint16 {
+	switch u.SrcK {
+	case isa.SrcConst:
+		return u.SrcVal // pre-masked at lowering time
+	case isa.SrcReg:
+		v := c.R[u.SrcReg]
+		if u.Byte {
+			v &= 0x00FF
+		}
+		return v
+	case isa.SrcMemConst:
+		if u.Byte {
+			return uint16(c.loadByte(pc, u.SrcVal))
+		}
+		return c.loadWord(pc, u.SrcVal)
+	case isa.SrcMemReg:
+		ea := c.R[u.SrcReg] + u.SrcVal
+		if u.Byte {
+			return uint16(c.loadByte(pc, ea))
+		}
+		return c.loadWord(pc, ea)
+	default: // SrcMemRegInc
+		ea := c.R[u.SrcReg]
+		c.R[u.SrcReg] = ea + u.Inc
+		if u.Byte {
+			return uint16(c.loadByte(pc, ea))
+		}
+		return c.loadWord(pc, ea)
+	}
+}
+
+// uLoc resolves a lowered source operand to a location (format II
+// in-place ops), performing any auto-increment side effect.
+func (c *CPU) uLoc(kind uint8, reg isa.Reg, val, inc uint16) loc {
+	switch kind {
+	case isa.SrcReg:
+		return loc{isReg: true, reg: reg}
+	case isa.SrcMemConst:
+		return loc{ea: val}
+	case isa.SrcMemReg:
+		return loc{ea: c.R[reg] + val}
+	default: // SrcMemRegInc
+		ea := c.R[reg]
+		c.R[reg] = ea + inc
+		return loc{ea: ea}
+	}
+}
+
+// execFmt1Reg executes a word-width double-operand micro-op whose
+// destination is a plain general-purpose register (R4..R15) with the
+// location indirection stripped. The op semantics mirror doFormat1 for
+// word width exactly (mask 0xFFFF, sign 0x8000).
+func (c *CPU) execFmt1Reg(pc uint16, u *isa.UOp) error {
+	src := c.uSrc(pc, u)
+	d := &c.R[u.DstReg]
+	dst := *d
+	carry := c.R[isa.SR] & isa.FlagC // 0 or 1: FlagC is bit 0
+	switch u.Op {
+	case isa.MOV:
+		*d = src
+	case isa.ADD:
+		r, f := addFlags(src, dst, 0, false)
+		*d = r
+		c.setFlags(f, allFlags)
+	case isa.ADDC:
+		r, f := addFlags(src, dst, carry, false)
+		*d = r
+		c.setFlags(f, allFlags)
+	case isa.SUB:
+		r, f := addFlags(^src, dst, 1, false)
+		*d = r
+		c.setFlags(f, allFlags)
+	case isa.SUBC:
+		r, f := addFlags(^src, dst, carry, false)
+		*d = r
+		c.setFlags(f, allFlags)
+	case isa.CMP:
+		_, f := addFlags(^src, dst, 1, false)
+		c.setFlags(f, allFlags)
+	case isa.DADD:
+		r, f := dadd(src, dst, carry, false)
+		*d = r
+		c.setFlags(f, allFlags)
+	case isa.BIT:
+		r := src & dst
+		f := nz(r, false)
+		if r != 0 {
+			f |= isa.FlagC
+		}
+		c.setFlags(f, allFlags)
+	case isa.BIC:
+		*d = dst &^ src
+	case isa.BIS:
+		*d = dst | src
+	case isa.XOR:
+		r := src ^ dst
+		f := nz(r, false)
+		if r != 0 {
+			f |= isa.FlagC
+		}
+		if src&0x8000 != 0 && dst&0x8000 != 0 {
+			f |= isa.FlagV
+		}
+		*d = r
+		c.setFlags(f, allFlags)
+	case isa.AND:
+		r := src & dst
+		f := nz(r, false)
+		if r != 0 {
+			f |= isa.FlagC
+		}
+		*d = r
+		c.setFlags(f, allFlags)
+	default:
+		return fmt.Errorf("unhandled format I opcode %v", u.Op)
 	}
 	return nil
 }

@@ -250,6 +250,24 @@ func (r *Runner) RunSequential() (*Report, error) {
 	return aggregate(results, 1, time.Since(start)), nil
 }
 
+// RunStream executes the matrix and delivers every JobResult to emit —
+// in job order, on the calling goroutine, as soon as it and its
+// predecessors complete — without retaining the per-job results in
+// memory. The returned report carries only the aggregate counters
+// (Results is nil); because emission is in job order, the stream is as
+// deterministic as Run's results array.
+func (r *Runner) RunStream(emit func(JobResult)) (*Report, error) {
+	start := time.Now()
+	rep := &Report{Workers: r.workers}
+	pool.Stream(len(r.jobs), r.workers, r.runJob, func(_ int, jr JobResult) {
+		rep.add(jr)
+		if emit != nil {
+			emit(jr)
+		}
+	})
+	return rep.finish(time.Since(start)), nil
+}
+
 func (r *Runner) runJob(i int) JobResult {
 	job := r.jobs[i]
 	switch job.Kind {

@@ -153,3 +153,41 @@ func TestFleetSpecSelection(t *testing.T) {
 		}
 	}
 }
+
+// TestRunStreamMatchesRun: the streamed results arrive in job order and
+// carry exactly the payloads Run aggregates, and the streamed report's
+// counters match the aggregate one's.
+func TestRunStreamMatchesRun(t *testing.T) {
+	p := newPipeline(t)
+	r, err := NewRunner(p, Spec{
+		Apps: []string{"TempSensor"}, Scenarios: []string{"stack-smash"}, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []JobResult
+	rep, err := r.RunStream(func(jr JobResult) { streamed = append(streamed, jr) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results != nil {
+		t.Error("streamed report retained the results slice")
+	}
+	if len(streamed) != len(full.Results) {
+		t.Fatalf("streamed %d results, Run produced %d", len(streamed), len(full.Results))
+	}
+	for i := range streamed {
+		if streamed[i] != full.Results[i] {
+			t.Errorf("result %d differs:\n%+v\n%+v", i, streamed[i], full.Results[i])
+		}
+	}
+	if rep.Jobs != full.Jobs || rep.Failures != full.Failures ||
+		rep.ChecksFailed != full.ChecksFailed || rep.TotalCycles != full.TotalCycles ||
+		rep.TotalInsns != full.TotalInsns {
+		t.Errorf("aggregate counters diverged: %+v vs %+v", rep, full)
+	}
+}

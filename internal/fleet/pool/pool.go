@@ -17,32 +17,77 @@ func Do[T any](n, workers int, fn func(i int) T) []T {
 		return nil
 	}
 	out := make([]T, n)
+	Stream(n, workers, fn, func(i int, v T) { out[i] = v })
+	return out
+}
+
+// Stream runs fn(0), …, fn(n-1) on up to workers goroutines like Do,
+// but delivers each result to emit — on the calling goroutine, in job
+// order — as soon as it and all its predecessors have completed,
+// instead of materializing the full result slice. Dispatch is held to a
+// window of 2×workers jobs beyond the last emitted one, so at most that
+// many results are ever buffered — even when an early job is
+// pathologically slow, an n-job matrix streams in O(workers) memory.
+// emit must not call back into the pool.
+func Stream[T any](n, workers int, fn func(i int) T, emit func(i int, v T)) {
+	if n <= 0 {
+		return
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		for i := range out {
-			out[i] = fn(i)
+		for i := 0; i < n; i++ {
+			emit(i, fn(i))
 		}
-		return out
+		return
 	}
+	type res struct {
+		i int
+		v T
+	}
+	// tokens caps jobs dispatched but not yet emitted. The feeder
+	// acquires before handing out an index; the emitter releases one
+	// per emission, so the feeder can run at most window jobs ahead of
+	// the in-order emission frontier.
+	window := 2 * workers
+	tokens := make(chan struct{}, window)
 	idx := make(chan int)
+	done := make(chan res, workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i] = fn(i)
+				done <- res{i, fn(i)}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		idx <- i
+	go func() {
+		for i := 0; i < n; i++ {
+			tokens <- struct{}{}
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+		close(done)
+	}()
+	pending := make(map[int]T)
+	next := 0
+	for r := range done {
+		pending[r.i] = r.v
+		for {
+			v, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			emit(next, v)
+			next++
+			<-tokens
+		}
 	}
-	close(idx)
-	wg.Wait()
-	return out
 }
 
 // Err is a convenience pair for jobs that can fail: collect with Do,

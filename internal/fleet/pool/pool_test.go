@@ -2,7 +2,9 @@ package pool
 
 import (
 	"errors"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestDoOrderIndependent(t *testing.T) {
@@ -42,4 +44,63 @@ func TestFirst(t *testing.T) {
 	if err := First([]Err[int]{{V: 1}}); err != nil {
 		t.Fatalf("First on clean set = %v", err)
 	}
+}
+
+func TestStreamInOrderDelivery(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		var got []int
+		last := -1
+		Stream(50, workers, func(i int) int { return i * i }, func(i, v int) {
+			if i != last+1 {
+				t.Fatalf("workers=%d: emitted job %d after %d", workers, i, last)
+			}
+			last = i
+			got = append(got, v)
+		})
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: emitted %d results, want 50", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	Stream(0, 4, func(i int) int { return i }, func(int, int) {
+		t.Fatal("emit called for empty job set")
+	})
+}
+
+// TestStreamWindowBound: while the in-order frontier is stuck on a slow
+// job 0, the feeder may dispatch at most 2×workers jobs in total, so
+// the reorder buffer stays O(workers) no matter how large n is.
+func TestStreamWindowBound(t *testing.T) {
+	const workers = 4
+	release := make(chan struct{})
+	var maxStarted atomic.Int64
+	maxStarted.Store(-1)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+	Stream(1000, workers, func(i int) int {
+		for {
+			cur := maxStarted.Load()
+			if int64(i) <= cur || maxStarted.CompareAndSwap(cur, int64(i)) {
+				break
+			}
+		}
+		if i == 0 {
+			<-release
+			// Everything dispatched so far started while job 0 blocked
+			// the frontier: it must fit the 2×workers window.
+			if got := maxStarted.Load(); got >= 2*workers {
+				t.Errorf("dispatched up to job %d while the frontier was stuck at 0 (window %d)", got, 2*workers)
+			}
+		}
+		return i
+	}, func(int, int) {})
 }

@@ -21,29 +21,42 @@ type Report struct {
 	WallMS        float64 `json:"wall_ms"`
 	MCyclesPerSec float64 `json:"sim_mcycles_per_sec"`
 
-	Results []JobResult `json:"results"`
+	// Results is ordered by job index; nil on streamed runs, whose
+	// per-job results were delivered incrementally instead of retained.
+	Results []JobResult `json:"results,omitempty"`
+}
+
+// add folds one job result into the aggregate counters (not Results).
+func (r *Report) add(jr JobResult) {
+	r.Jobs++
+	r.TotalCycles += jr.Cycles
+	r.TotalInsns += jr.Insns
+	switch {
+	case jr.Err != "":
+		// An errored job never ran its check; count it once as a
+		// failure, not again as a failed check.
+		r.Failures++
+	case !jr.CheckOK:
+		r.ChecksFailed++
+	}
+}
+
+// finish stamps the wall-clock figures.
+func (r *Report) finish(wall time.Duration) *Report {
+	r.WallMS = float64(wall.Microseconds()) / 1000
+	if s := wall.Seconds(); s > 0 {
+		r.MCyclesPerSec = float64(r.TotalCycles) / s / 1e6
+	}
+	return r
 }
 
 // aggregate folds job results into a report.
 func aggregate(results []JobResult, workers int, wall time.Duration) *Report {
-	rep := &Report{Workers: workers, Jobs: len(results), Results: results}
-	for _, r := range results {
-		rep.TotalCycles += r.Cycles
-		rep.TotalInsns += r.Insns
-		switch {
-		case r.Err != "":
-			// An errored job never ran its check; count it once as a
-			// failure, not again as a failed check.
-			rep.Failures++
-		case !r.CheckOK:
-			rep.ChecksFailed++
-		}
+	rep := &Report{Workers: workers, Results: results}
+	for _, jr := range results {
+		rep.add(jr)
 	}
-	rep.WallMS = float64(wall.Microseconds()) / 1000
-	if s := wall.Seconds(); s > 0 {
-		rep.MCyclesPerSec = float64(rep.TotalCycles) / s / 1e6
-	}
-	return rep
+	return rep.finish(wall)
 }
 
 // ResultsJSON marshals only the deterministic per-job results — the
@@ -60,26 +73,71 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
+// RenderTableHeader writes the column header of the per-job table (the
+// streaming CLI emits rows as jobs finish, so the header comes first).
+func RenderTableHeader(w io.Writer) {
+	fmt.Fprintf(w, "%-5s %-7s %-22s %-10s %12s %10s %7s %-6s %s\n",
+		"idx", "kind", "name", "variant", "cycles", "insns", "resets", "check", "note")
+}
+
+// RenderRow writes one job's table row.
+func (jr JobResult) RenderRow(w io.Writer) {
+	note := jr.Reason
+	if jr.Err != "" {
+		note = "ERR: " + jr.Err
+	} else if jr.Compromised {
+		note = "compromised " + note
+	}
+	check := "ok"
+	if !jr.CheckOK {
+		check = "FAIL"
+	}
+	fmt.Fprintf(w, "%-5d %-7s %-22s %-10s %12d %10d %7d %-6s %s\n",
+		jr.Index, jr.Kind, jr.Name, jr.Variant, jr.Cycles, jr.Insns, jr.Resets, check, note)
+}
+
+// RenderSummary writes the aggregate lines of the report.
+func (r *Report) RenderSummary(w io.Writer) {
+	fmt.Fprintf(w, "fleet: %d jobs on %d workers in %.1f ms (%.2f simMcycles/s)\n",
+		r.Jobs, r.Workers, r.WallMS, r.MCyclesPerSec)
+	fmt.Fprintf(w, "totals: %d cycles, %d insns, %d failures, %d check failures\n",
+		r.TotalCycles, r.TotalInsns, r.Failures, r.ChecksFailed)
+}
+
 // Render writes a human-readable summary table.
 func (r *Report) Render(w io.Writer) {
 	fmt.Fprintf(w, "fleet: %d jobs on %d workers in %.1f ms (%.2f simMcycles/s)\n",
 		r.Jobs, r.Workers, r.WallMS, r.MCyclesPerSec)
-	fmt.Fprintf(w, "%-5s %-7s %-22s %-10s %12s %10s %7s %-6s %s\n",
-		"idx", "kind", "name", "variant", "cycles", "insns", "resets", "check", "note")
+	RenderTableHeader(w)
 	for _, jr := range r.Results {
-		note := jr.Reason
-		if jr.Err != "" {
-			note = "ERR: " + jr.Err
-		} else if jr.Compromised {
-			note = "compromised " + note
-		}
-		check := "ok"
-		if !jr.CheckOK {
-			check = "FAIL"
-		}
-		fmt.Fprintf(w, "%-5d %-7s %-22s %-10s %12d %10d %7d %-6s %s\n",
-			jr.Index, jr.Kind, jr.Name, jr.Variant, jr.Cycles, jr.Insns, jr.Resets, check, note)
+		jr.RenderRow(w)
 	}
 	fmt.Fprintf(w, "totals: %d cycles, %d insns, %d failures, %d check failures\n",
 		r.TotalCycles, r.TotalInsns, r.Failures, r.ChecksFailed)
+}
+
+// WriteNDJSONLine emits one job result as a single JSON line — the
+// streaming counterpart of WriteJSON's results array.
+func WriteNDJSONLine(w io.Writer, jr JobResult) error {
+	b, err := json.Marshal(jr)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteSummaryNDJSONLine emits the aggregate report (without per-job
+// results) as the final line of an NDJSON stream.
+func (r *Report) WriteSummaryNDJSONLine(w io.Writer) error {
+	summary := *r
+	summary.Results = nil
+	b, err := json.Marshal(&summary)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
 }

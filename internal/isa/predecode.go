@@ -1,26 +1,35 @@
 package isa
 
-// predecEntry caches one successful decode at a fixed fetch address.
-type predecEntry struct {
-	in     Instruction
-	size   uint16
-	cycles uint16
-	ok     bool
+// Entry caches one successful decode at a fixed fetch address: the
+// raised Instruction (the generic interpreter's input), its
+// threaded-code lowering (the fast interpreter's input, valid when Fast
+// is set), and the size/cycle figures both share. Entries are read-only
+// after construction; callers must not mutate them.
+type Entry struct {
+	In     Instruction
+	U      UOp
+	Size   uint16
+	Cycles uint16
+	OK     bool
+	Fast   bool
 }
 
 // Predecoded is an immutable decode cache for a fixed code image: every
 // even address in its window is decoded once, up front, so the CPU core
 // can skip both the speculative three-word fetch and Decode on warm
-// paths. A Predecoded is read-only after construction and therefore safe
-// to share between any number of machines running byte-identical code —
-// the per-ROM artifact the fleet runner builds once per application.
+// paths. Each cached decode also carries its threaded-code lowering
+// (see UOp), so the warm path skips the per-step format switch and
+// operand resolution too. A Predecoded is read-only after construction
+// and therefore safe to share between any number of machines running
+// byte-identical code — the per-ROM artifact the fleet runner builds
+// once per application.
 //
 // Staleness is the caller's problem: the CPU core pairs a shared
 // Predecoded with a per-machine dirty map (see cpu.CPU.InvalidateCode)
 // so that writes observed on the bus force a live re-decode.
 type Predecoded struct {
 	start   uint16
-	entries []predecEntry
+	entries []Entry
 }
 
 // Predecode decodes every even address in [start, end] using read to
@@ -41,7 +50,7 @@ func Predecode(read func(addr uint16) uint16, start, end uint16, fetchable func(
 	if n <= 0 {
 		return p
 	}
-	p.entries = make([]predecEntry, n)
+	p.entries = make([]Entry, n)
 	for i := range p.entries {
 		addr := start + uint16(2*i)
 		if addr >= 0xFFFC {
@@ -55,25 +64,50 @@ func Predecode(read func(addr uint16) uint16, start, end uint16, fetchable func(
 		if err != nil {
 			continue
 		}
-		p.entries[i] = predecEntry{in: in, size: in.Size(), cycles: uint16(Cycles(in)), ok: true}
+		e := &p.entries[i]
+		e.In = in
+		e.Size = in.Size()
+		e.Cycles = uint16(Cycles(in))
+		e.OK = true
+		e.U, e.Fast = LowerUOp(addr, in)
 	}
 	return p
 }
 
-// Lookup returns the cached instruction, its size in bytes and its cycle
-// cost for a fetch at addr. ok is false when addr is outside the window,
-// odd (a misaligned fetch takes the live path, which models the bus's
-// A0-ignore), or did not decode at predecode time.
-func (p *Predecoded) Lookup(addr uint16) (in Instruction, size, cycles uint16, ok bool) {
+// Table exposes the window base and the entry slice for callers that
+// inline the lookup (the CPU core's warm path). Entries are shared and
+// read-only; an entry is valid only when its OK flag is set. Index i
+// corresponds to fetch address start + 2*i.
+func (p *Predecoded) Table() (start uint16, entries []Entry) {
+	if p == nil {
+		return 0, nil
+	}
+	return p.start, p.entries
+}
+
+// EntryAt returns the cached entry for a fetch at addr, or nil when
+// addr is outside the window, odd (a misaligned fetch takes the live
+// path, which models the bus's A0-ignore), or did not decode at
+// predecode time. The entry is shared and read-only.
+func (p *Predecoded) EntryAt(addr uint16) *Entry {
 	if p == nil || addr&1 != 0 || addr < p.start {
-		return Instruction{}, 0, 0, false
+		return nil
 	}
 	i := int(addr-p.start) >> 1
-	if i >= len(p.entries) || !p.entries[i].ok {
+	if i >= len(p.entries) || !p.entries[i].OK {
+		return nil
+	}
+	return &p.entries[i]
+}
+
+// Lookup returns the cached instruction, its size in bytes and its cycle
+// cost for a fetch at addr. ok is false when EntryAt would return nil.
+func (p *Predecoded) Lookup(addr uint16) (in Instruction, size, cycles uint16, ok bool) {
+	e := p.EntryAt(addr)
+	if e == nil {
 		return Instruction{}, 0, 0, false
 	}
-	e := &p.entries[i]
-	return e.in, e.size, e.cycles, true
+	return e.In, e.Size, e.Cycles, true
 }
 
 // Len reports how many addresses hold a cached decode (for tests and
@@ -84,7 +118,7 @@ func (p *Predecoded) Len() int {
 	}
 	n := 0
 	for i := range p.entries {
-		if p.entries[i].ok {
+		if p.entries[i].OK {
 			n++
 		}
 	}

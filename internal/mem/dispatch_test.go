@@ -1,0 +1,241 @@
+package mem
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// wordDev is a word-only handler (no ByteHandler) that records every
+// call, so byte accesses exercise the Space's read-modify-write
+// synthesis on both dispatch paths.
+type wordDev struct {
+	regs map[uint16]uint16
+	log  []string
+}
+
+func newWordDev() *wordDev { return &wordDev{regs: map[uint16]uint16{}} }
+
+func (d *wordDev) LoadWord(addr uint16) uint16 {
+	d.log = append(d.log, fmt.Sprintf("LW %04x", addr))
+	return d.regs[addr] ^ 0xA5A5 // value depends on state, not just addr
+}
+
+func (d *wordDev) StoreWord(addr uint16, v uint16) {
+	d.log = append(d.log, fmt.Sprintf("SW %04x %04x", addr, v))
+	d.regs[addr] = v
+}
+
+// byteDev additionally implements ByteHandler.
+type byteDev struct {
+	wordDev
+}
+
+func (d *byteDev) LoadByte(addr uint16) uint8 {
+	d.log = append(d.log, fmt.Sprintf("LB %04x", addr))
+	return uint8(d.regs[addr&^1])
+}
+
+func (d *byteDev) StoreByte(addr uint16, v uint8) {
+	d.log = append(d.log, fmt.Sprintf("SB %04x %02x", addr, v))
+	d.regs[addr&^1] = uint16(v)
+}
+
+// diffPair is a table-dispatch Space and a linear-dispatch Space with
+// identical mappings, plus the per-space observation logs.
+type diffPair struct {
+	spaces   [2]*Space
+	words    [2]*wordDev
+	bytes    [2]*byteDev
+	hookLogs [2][]string
+}
+
+// wordSpan/byteSpan place one word-only and one byte-capable handler in
+// the peripheral window, with ranges chosen so accesses can straddle
+// both ends (plain RAM below, plain RAM above).
+const (
+	wordLo, wordHi = 0x0100, 0x0113
+	byteLo, byteHi = 0x0120, 0x0125
+)
+
+func newDiffPair(t *testing.T) *diffPair {
+	t.Helper()
+	p := &diffPair{}
+	for i := range p.spaces {
+		i := i
+		s := MustNewSpace(DefaultLayout())
+		p.words[i] = newWordDev()
+		p.bytes[i] = &byteDev{wordDev: *newWordDev()}
+		if err := s.Map(wordLo, wordHi, p.words[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Map(byteLo, byteHi, p.bytes[i]); err != nil {
+			t.Fatal(err)
+		}
+		s.WriteHook = func(addr uint16, n int) {
+			p.hookLogs[i] = append(p.hookLogs[i], fmt.Sprintf("%04x+%d", addr, n))
+		}
+		p.spaces[i] = s
+	}
+	p.spaces[1].SetLinearDispatch(true)
+	return p
+}
+
+// compare asserts every observable of the two spaces is identical.
+func (p *diffPair) compare(t *testing.T, what string) {
+	t.Helper()
+	a, b := p.spaces[0], p.spaces[1]
+	if a.BusErrors != b.BusErrors {
+		t.Errorf("%s: BusErrors %d (table) vs %d (linear)", what, a.BusErrors, b.BusErrors)
+	}
+	if a.HandlerStores() != b.HandlerStores() {
+		t.Errorf("%s: HandlerStores %d vs %d", what, a.HandlerStores(), b.HandlerStores())
+	}
+	if got, want := fmt.Sprint(p.hookLogs[0]), fmt.Sprint(p.hookLogs[1]); got != want {
+		t.Errorf("%s: WriteHook log diverged:\n table: %s\nlinear: %s", what, got, want)
+	}
+	if got, want := fmt.Sprint(p.words[0].log), fmt.Sprint(p.words[1].log); got != want {
+		t.Errorf("%s: word-handler log diverged:\n table: %s\nlinear: %s", what, got, want)
+	}
+	if got, want := fmt.Sprint(p.bytes[0].log), fmt.Sprint(p.bytes[1].log); got != want {
+		t.Errorf("%s: byte-handler log diverged:\n table: %s\nlinear: %s", what, got, want)
+	}
+	for addr := 0; addr < Size; addr++ {
+		if a.ram[addr] != b.ram[addr] {
+			t.Errorf("%s: ram[0x%04x] = %02x vs %02x", what, addr, a.ram[addr], b.ram[addr])
+			break
+		}
+	}
+}
+
+// both runs the same access on both spaces and asserts equal results.
+func (p *diffPair) both(t *testing.T, what string, f func(s *Space) uint16) {
+	t.Helper()
+	va := f(p.spaces[0])
+	vb := f(p.spaces[1])
+	if va != vb {
+		t.Errorf("%s: value %04x (table) vs %04x (linear)", what, va, vb)
+	}
+}
+
+// TestDispatchDifferentialTargeted drives the access shapes the page
+// table must get exactly right — handler-boundary straddles, byte
+// access synthesized onto word-only handlers, unmapped holes with their
+// bus-error accounting, and WriteHook-visible plain stores — through
+// both dispatch paths and requires identical observables.
+func TestDispatchDifferentialTargeted(t *testing.T) {
+	p := newDiffPair(t)
+	layout := DefaultLayout()
+	hole := layout.SecureDataEnd + 0x100 // inside the big unmapped hole
+
+	cases := []struct {
+		name string
+		f    func(s *Space) uint16
+	}{
+		// Word access at each edge of the word-only handler, including
+		// odd addresses that align down into/out of the range.
+		{"LW at handler start", func(s *Space) uint16 { return s.LoadWord(wordLo) }},
+		{"LW at handler end-1", func(s *Space) uint16 { return s.LoadWord(wordHi - 1) }},
+		{"LW odd inside", func(s *Space) uint16 { return s.LoadWord(wordLo + 3) }},
+		{"LW odd at end straddles out", func(s *Space) uint16 { return s.LoadWord(wordHi) }},
+		{"LW just below", func(s *Space) uint16 { return s.LoadWord(wordLo - 2) }},
+		{"LW just above", func(s *Space) uint16 { return s.LoadWord(wordHi + 1) }},
+		{"SW at start", func(s *Space) uint16 { s.StoreWord(wordLo, 0x1234); return 0 }},
+		{"SW odd aligns down", func(s *Space) uint16 { s.StoreWord(wordLo+5, 0x5678); return 0 }},
+		{"SW just below handler", func(s *Space) uint16 { s.StoreWord(wordLo-2, 0x9ABC); return 0 }},
+		// Byte access synthesized onto the word-only handler (RMW on
+		// stores, half-word extract on loads).
+		{"LB low byte of word dev", func(s *Space) uint16 { return uint16(s.LoadByte(wordLo + 2)) }},
+		{"LB high byte of word dev", func(s *Space) uint16 { return uint16(s.LoadByte(wordLo + 3)) }},
+		{"SB low byte of word dev", func(s *Space) uint16 { s.StoreByte(wordLo+4, 0x42); return 0 }},
+		{"SB high byte of word dev", func(s *Space) uint16 { s.StoreByte(wordLo+5, 0x99); return 0 }},
+		// Byte-capable handler takes byte accesses directly.
+		{"LB byte dev", func(s *Space) uint16 { return uint16(s.LoadByte(byteLo + 1)) }},
+		{"SB byte dev", func(s *Space) uint16 { s.StoreByte(byteLo, 0x7F); return 0 }},
+		// The last byte of a handler range: a word access there aligns
+		// down and stays inside; one byte past it leaves the handler.
+		{"LB last handler byte", func(s *Space) uint16 { return uint16(s.LoadByte(byteHi)) }},
+		{"LB one past handler", func(s *Space) uint16 { return uint16(s.LoadByte(byteHi + 1)) }},
+		// Unmapped space: reads return all-ones and count bus errors,
+		// writes are dropped and count bus errors.
+		{"LW unmapped", func(s *Space) uint16 { return s.LoadWord(hole) }},
+		{"LB unmapped", func(s *Space) uint16 { return uint16(s.LoadByte(hole + 1)) }},
+		{"SW unmapped", func(s *Space) uint16 { s.StoreWord(hole+2, 0xDEAD); return 0 }},
+		{"SB unmapped", func(s *Space) uint16 { s.StoreByte(hole+3, 0xEE); return 0 }},
+		// Plain RAM with WriteHook accounting.
+		{"SW dmem", func(s *Space) uint16 { s.StoreWord(layout.DMEMStart+0x10, 0xBEEF); return 0 }},
+		{"SB dmem", func(s *Space) uint16 { s.StoreByte(layout.DMEMStart+0x13, 0x5A); return 0 }},
+		{"LW dmem", func(s *Space) uint16 { return s.LoadWord(layout.DMEMStart + 0x10) }},
+		{"SW top of memory", func(s *Space) uint16 { s.StoreWord(0xFFFE, 0xF00D); return 0 }},
+		{"LW top of memory", func(s *Space) uint16 { return s.LoadWord(0xFFFF) }},
+		// Unmapped periph-window addresses fall through to backing RAM.
+		{"SW unclaimed periph addr", func(s *Space) uint16 { s.StoreWord(0x01F0, 0xCAFE); return 0 }},
+		{"LW unclaimed periph addr", func(s *Space) uint16 { return s.LoadWord(0x01F0) }},
+	}
+	for _, tc := range cases {
+		p.both(t, tc.name, tc.f)
+		p.compare(t, tc.name)
+	}
+	if p.spaces[0].BusErrors == 0 {
+		t.Error("targeted cases never hit unmapped space; bus-error accounting untested")
+	}
+	if p.spaces[0].HandlerStores() == 0 {
+		t.Error("targeted cases never stored to a handler")
+	}
+}
+
+// TestDispatchDifferentialRandom hammers both dispatch paths with the
+// same pseudorandom access stream across the whole address space.
+func TestDispatchDifferentialRandom(t *testing.T) {
+	p := newDiffPair(t)
+	rng := rand.New(rand.NewSource(0xE111D))
+	for i := 0; i < 20000; i++ {
+		addr := uint16(rng.Intn(Size))
+		v := uint16(rng.Uint32())
+		switch rng.Intn(4) {
+		case 0:
+			p.both(t, fmt.Sprintf("op%d LW %04x", i, addr), func(s *Space) uint16 { return s.LoadWord(addr) })
+		case 1:
+			p.both(t, fmt.Sprintf("op%d LB %04x", i, addr), func(s *Space) uint16 { return uint16(s.LoadByte(addr)) })
+		case 2:
+			p.both(t, fmt.Sprintf("op%d SW %04x", i, addr), func(s *Space) uint16 { s.StoreWord(addr, v); return 0 })
+		case 3:
+			p.both(t, fmt.Sprintf("op%d SB %04x", i, addr), func(s *Space) uint16 { s.StoreByte(addr, uint8(v)); return 0 })
+		}
+		if t.Failed() {
+			t.Fatalf("diverged at op %d", i)
+		}
+	}
+	p.compare(t, "after random stream")
+	if p.spaces[0].BusErrors == 0 {
+		t.Error("random stream never hit unmapped space")
+	}
+}
+
+// TestDispatchTableMatchesRegions cross-checks the table against the
+// layout classifier for every address.
+func TestDispatchTableMatchesRegions(t *testing.T) {
+	s := MustNewSpace(DefaultLayout())
+	for a := 0; a < Size; a++ {
+		addr := uint16(a)
+		wantPlain := s.Layout.RegionOf(addr) != RegionUnmapped
+		if s.plain[addr] != wantPlain {
+			t.Fatalf("plain[0x%04x] = %v, want %v (region %v)", addr, s.plain[addr], wantPlain, s.Layout.RegionOf(addr))
+		}
+		if s.hidx[addr] != 0 {
+			t.Fatalf("hidx[0x%04x] = %d on a handler-free space", addr, s.hidx[addr])
+		}
+	}
+	d := newWordDev()
+	if err := s.Map(0x0040, 0x0047, d); err != nil {
+		t.Fatal(err)
+	}
+	for a := 0x0040; a <= 0x0047; a++ {
+		if s.plain[a] || s.hidx[a] == 0 {
+			t.Fatalf("mapped address 0x%04x not routed to handler", a)
+		}
+	}
+	if s.plain[0x003F] != true || s.plain[0x0048] != true {
+		t.Fatal("mapping leaked outside its range")
+	}
+}

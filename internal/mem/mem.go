@@ -7,7 +7,10 @@
 // policies from.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Size of the MSP430 address space in bytes.
 const Size = 0x10000
@@ -168,10 +171,30 @@ type mapping struct {
 // mappings. It implements the bus the CPU core drives. Space performs no
 // protection checks itself — protection is the hardware monitor's job —
 // but it records the last bus error (access to unmapped space) for tests.
+//
+// Dispatch is O(1): two per-address tables, built at NewSpace/Map time,
+// classify every address as plain backing memory, a peripheral handler,
+// or unmapped space. The original linear handler scan is kept behind
+// SetLinearDispatch as the reference semantics the tables are
+// differentially tested against.
 type Space struct {
 	Layout Layout
 	ram    [Size]byte
 	maps   []mapping
+
+	// plain marks addresses that dispatch straight to the backing array:
+	// inside a mapped region, with no peripheral handler attached.
+	plain [Size]bool
+	// hidx maps an address to 1+index of its handler in maps (0 = none).
+	hidx [Size]uint8
+
+	// linear forces the reference linear-scan dispatch path.
+	linear bool
+
+	// handlerStores counts stores that reached a peripheral handler; the
+	// machine's run loop uses it to notice that a register write may have
+	// moved a peripheral's next-event deadline.
+	handlerStores uint64
 
 	// BusErrors counts accesses to unmapped addresses (reads return
 	// 0xFFFF / 0xFF, writes are dropped), mirroring openMSP430's
@@ -186,12 +209,41 @@ type Space struct {
 	WriteHook func(addr uint16, n int)
 }
 
+// plainTemplates caches the handler-free dispatch table per layout, so
+// the fleet runner's bulk machine construction pays the 64 K region
+// classification once per layout rather than once per Space.
+var plainTemplates sync.Map // Layout -> *[Size]bool
+
+func plainTemplate(l Layout) *[Size]bool {
+	if v, ok := plainTemplates.Load(l); ok {
+		return v.(*[Size]bool)
+	}
+	t := new([Size]bool)
+	// Every mapped region is plain memory until a handler claims it.
+	for _, span := range [][2]uint16{
+		{l.PeriphStart, l.PeriphEnd},
+		{l.DMEMStart, l.DMEMEnd},
+		{l.SecureDataStart, l.SecureDataEnd},
+		{l.PMEMStart, l.PMEMEnd},
+		{l.SecureROMStart, l.SecureROMEnd},
+		{l.IVTStart, 0xFFFF},
+	} {
+		for a := int(span[0]); a <= int(span[1]); a++ {
+			t[a] = true
+		}
+	}
+	v, _ := plainTemplates.LoadOrStore(l, t)
+	return v.(*[Size]bool)
+}
+
 // NewSpace creates a Space with the given layout.
 func NewSpace(l Layout) (*Space, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
-	return &Space{Layout: l}, nil
+	s := &Space{Layout: l}
+	s.plain = *plainTemplate(l)
+	return s, nil
 }
 
 // MustNewSpace is NewSpace for known-good layouts.
@@ -217,8 +269,37 @@ func (s *Space) Map(start, end uint16, h Handler) error {
 			return fmt.Errorf("mem: mapping 0x%04x..0x%04x overlaps 0x%04x..0x%04x", start, end, m.start, m.end)
 		}
 	}
+	if len(s.maps) >= 255 {
+		return fmt.Errorf("mem: too many peripheral mappings (max 255)")
+	}
 	s.maps = append(s.maps, mapping{start, end, h})
+	idx := uint8(len(s.maps)) // 1-based in hidx
+	for a := int(start); a <= int(end); a++ {
+		s.hidx[a] = idx
+		s.plain[a] = false
+	}
 	return nil
+}
+
+// SetLinearDispatch selects the reference linear handler scan (true)
+// instead of the per-address dispatch tables. Semantics are identical;
+// the differential tests in this package assert that.
+func (s *Space) SetLinearDispatch(on bool) { s.linear = on }
+
+// HandlerStores returns a generation counter incremented by every store
+// that reached a peripheral handler. The machine's batched run loop
+// compares it between instructions to catch register writes that move a
+// peripheral's next-event deadline.
+func (s *Space) HandlerStores() uint64 { return s.handlerStores }
+
+// Direct exposes the backing slab, the plain-memory dispatch flags and
+// the live write hook so the CPU core can inline plain-RAM accesses
+// without an interface call. The returned pointers alias live Space
+// state: plain flags update as handlers are mapped, and *hook always
+// reads the current WriteHook. Callers must reproduce Space semantics
+// exactly (fast stores must invoke the hook).
+func (s *Space) Direct() (slab *[Size]byte, plain *[Size]bool, hook *func(addr uint16, n int)) {
+	return &s.ram, &s.plain, &s.WriteHook
 }
 
 func (s *Space) handlerAt(addr uint16) (Handler, bool) {
@@ -233,13 +314,33 @@ func (s *Space) handlerAt(addr uint16) (Handler, bool) {
 // align forces word alignment the way the MSP430 bus does (A0 ignored).
 func align(addr uint16) uint16 { return addr &^ 1 }
 
+// lookup classifies addr: the handler attached there (nil when none)
+// and whether the address is plain backing memory. Exactly one of
+// (h != nil), plain, or unmapped holds.
+func (s *Space) lookup(addr uint16) (h Handler, plain bool) {
+	if s.linear {
+		if lh, ok := s.handlerAt(addr); ok {
+			return lh, false
+		}
+		return nil, s.Layout.RegionOf(addr) != RegionUnmapped
+	}
+	if i := s.hidx[addr]; i != 0 {
+		return s.maps[i-1].h, false
+	}
+	return nil, s.plain[addr]
+}
+
 // LoadWord reads a little-endian word. Odd addresses are aligned down.
 func (s *Space) LoadWord(addr uint16) uint16 {
 	addr = align(addr)
-	if h, ok := s.handlerAt(addr); ok {
+	if !s.linear && s.plain[addr] {
+		return uint16(s.ram[addr]) | uint16(s.ram[addr+1])<<8
+	}
+	h, plain := s.lookup(addr)
+	if h != nil {
 		return h.LoadWord(addr)
 	}
-	if s.Layout.RegionOf(addr) == RegionUnmapped {
+	if !plain {
 		s.BusErrors++
 		return 0xFFFF
 	}
@@ -249,11 +350,13 @@ func (s *Space) LoadWord(addr uint16) uint16 {
 // StoreWord writes a little-endian word. Odd addresses are aligned down.
 func (s *Space) StoreWord(addr uint16, v uint16) {
 	addr = align(addr)
-	if h, ok := s.handlerAt(addr); ok {
+	h, plain := s.lookup(addr)
+	if h != nil {
+		s.handlerStores++
 		h.StoreWord(addr, v)
 		return
 	}
-	if s.Layout.RegionOf(addr) == RegionUnmapped {
+	if !plain {
 		s.BusErrors++
 		return
 	}
@@ -266,7 +369,8 @@ func (s *Space) StoreWord(addr uint16, v uint16) {
 
 // LoadByte reads a byte.
 func (s *Space) LoadByte(addr uint16) uint8 {
-	if h, ok := s.handlerAt(addr); ok {
+	h, plain := s.lookup(addr)
+	if h != nil {
 		if bh, ok := h.(ByteHandler); ok {
 			return bh.LoadByte(addr)
 		}
@@ -276,7 +380,7 @@ func (s *Space) LoadByte(addr uint16) uint8 {
 		}
 		return uint8(w)
 	}
-	if s.Layout.RegionOf(addr) == RegionUnmapped {
+	if !plain {
 		s.BusErrors++
 		return 0xFF
 	}
@@ -285,7 +389,9 @@ func (s *Space) LoadByte(addr uint16) uint8 {
 
 // StoreByte writes a byte.
 func (s *Space) StoreByte(addr uint16, v uint8) {
-	if h, ok := s.handlerAt(addr); ok {
+	h, plain := s.lookup(addr)
+	if h != nil {
+		s.handlerStores++
 		if bh, ok := h.(ByteHandler); ok {
 			bh.StoreByte(addr, v)
 			return
@@ -299,7 +405,7 @@ func (s *Space) StoreByte(addr uint16, v uint8) {
 		h.StoreWord(align(addr), w)
 		return
 	}
-	if s.Layout.RegionOf(addr) == RegionUnmapped {
+	if !plain {
 		s.BusErrors++
 		return
 	}

@@ -67,6 +67,30 @@ type Ticker interface {
 	Tick(cycles int)
 }
 
+// NoEvent is the NextEvent sentinel meaning "no pending deadline".
+const NoEvent = ^uint64(0)
+
+// Cycled is a clocked peripheral the machine's run loop drives in
+// batches instead of once per instruction. A Cycled peripheral keeps an
+// internal sync anchor (the absolute cycle it has been ticked through)
+// and lazily catches itself up — via its Clock — whenever firmware
+// touches one of its registers, so register reads observe exactly the
+// state per-instruction ticking would have produced.
+type Cycled interface {
+	Ticker
+	// SyncTo ticks the peripheral forward to the absolute cycle.
+	SyncTo(cycle uint64)
+	// Resync moves the anchor to cycle without ticking the elapsed
+	// time — the machine uses it after device resets and CPU faults,
+	// whose cycles per-instruction ticking never delivered either.
+	Resync(cycle uint64)
+	// NextEvent returns the absolute cycle at which the peripheral will
+	// next act on its own (raise an interrupt, complete a conversion),
+	// or NoEvent. The run loop must sync it no later than that cycle;
+	// syncing earlier is always safe.
+	NextEvent() uint64
+}
+
 // IRQController collects interrupt requests from peripherals and feeds
 // the CPU core (it implements cpu.IRQSource).
 type IRQController struct {
@@ -213,6 +237,12 @@ type Timer struct {
 	CCR0 uint16
 	// Wraps counts CCR0 rollovers (handy for tests and app timing).
 	Wraps uint64
+
+	// Clock supplies the current cycle count for lazy catch-up on
+	// register access (wired to the CPU's cycle counter by the machine;
+	// nil for standalone use, where Tick drives the timer directly).
+	Clock  func() uint64
+	synced uint64
 }
 
 // NewTimer creates a timer with registers at base.
@@ -220,26 +250,75 @@ func NewTimer(base uint16, irq *IRQController, line int) *Timer {
 	return &Timer{Base: base, IRQ: irq, Line: line}
 }
 
-// Tick advances the timer by CPU cycles.
+// Tick advances the timer by CPU cycles. The wrap count, IFG latching
+// and interrupt requests are computed in closed form but are identical
+// to stepping the counter one cycle at a time (the pending bit a wrap
+// requests is idempotent).
 func (t *Timer) Tick(cycles int) {
-	if t.CTL&TimerModeUp == 0 || t.CCR0 == 0 {
+	if t.CTL&TimerModeUp == 0 || t.CCR0 == 0 || cycles <= 0 {
 		return
 	}
-	for i := 0; i < cycles; i++ {
-		t.TAR++
-		if t.TAR >= t.CCR0 {
-			t.TAR = 0
-			t.Wraps++
-			t.CTL |= TimerIFG
-			if t.CTL&TimerIE != 0 && t.IRQ != nil {
-				t.IRQ.Request(t.Line)
-			}
-		}
+	n := uint64(cycles)
+	first := t.ticksToWrap()
+	if n < first {
+		t.TAR += uint16(n) // may pass 0xFFFF and overflow to 0, as TAR++ does
+		return
+	}
+	n -= first
+	period := uint64(t.CCR0)
+	t.Wraps += 1 + n/period
+	t.TAR = uint16(n % period)
+	t.CTL |= TimerIFG
+	if t.CTL&TimerIE != 0 && t.IRQ != nil {
+		t.IRQ.Request(t.Line)
+	}
+}
+
+// ticksToWrap counts the increments until the counter next wraps,
+// replicating the per-cycle sequence exactly: TAR increments (with
+// uint16 overflow) before the >= CCR0 comparison, so a TAR of 0xFFFF
+// rolls over to 0 without wrapping and counts a full period from there,
+// while any other at/past-CCR0 value wraps on its next increment.
+func (t *Timer) ticksToWrap() uint64 {
+	switch {
+	case t.TAR < t.CCR0:
+		return uint64(t.CCR0 - t.TAR)
+	case t.TAR == 0xFFFF:
+		return 1 + uint64(t.CCR0)
+	}
+	return 1
+}
+
+// SyncTo implements Cycled.
+func (t *Timer) SyncTo(cycle uint64) {
+	if cycle > t.synced {
+		t.Tick(int(cycle - t.synced))
+		t.synced = cycle
+	}
+}
+
+// Resync implements Cycled.
+func (t *Timer) Resync(cycle uint64) { t.synced = cycle }
+
+// NextEvent implements Cycled: the cycle of the next CCR0 wrap.
+func (t *Timer) NextEvent() uint64 {
+	if t.CTL&TimerModeUp == 0 || t.CCR0 == 0 {
+		return NoEvent
+	}
+	return t.synced + t.ticksToWrap()
+}
+
+// lazySync catches the timer up to the live clock before a register
+// access observes or mutates its state.
+func (t *Timer) lazySync() {
+	if t.Clock != nil {
+		t.SyncTo(t.Clock())
 	}
 }
 
 // LoadWord implements mem.Handler.
 func (t *Timer) LoadWord(addr uint16) uint16 {
+	t.lazySync()
 	switch addr - t.Base {
 	case 0x00:
 		return t.CTL
@@ -253,6 +332,7 @@ func (t *Timer) LoadWord(addr uint16) uint16 {
 
 // StoreWord implements mem.Handler.
 func (t *Timer) StoreWord(addr uint16, v uint16) {
+	t.lazySync()
 	switch addr - t.Base {
 	case 0x00:
 		t.CTL = v &^ TimerClear
@@ -301,6 +381,11 @@ type ADC struct {
 	done    bool
 	busyFor int // cycles remaining in the active conversion
 	active  uint8
+
+	// Clock supplies the current cycle count for lazy catch-up on
+	// register access (nil for standalone use).
+	Clock  func() uint64
+	synced uint64
 }
 
 // NewADC creates an ADC with no channels attached.
@@ -311,6 +396,32 @@ func NewADC(irq *IRQController, line int) *ADC {
 // Attach connects a sensor model to a channel.
 func (a *ADC) Attach(channel uint8, m SensorModel) {
 	a.channels[channel] = m
+}
+
+// SyncTo implements Cycled.
+func (a *ADC) SyncTo(cycle uint64) {
+	if cycle > a.synced {
+		a.Tick(int(cycle - a.synced))
+		a.synced = cycle
+	}
+}
+
+// Resync implements Cycled.
+func (a *ADC) Resync(cycle uint64) { a.synced = cycle }
+
+// NextEvent implements Cycled: the completion cycle of an in-flight
+// conversion.
+func (a *ADC) NextEvent() uint64 {
+	if a.busyFor <= 0 {
+		return NoEvent
+	}
+	return a.synced + uint64(a.busyFor)
+}
+
+func (a *ADC) lazySync() {
+	if a.Clock != nil {
+		a.SyncTo(a.Clock())
+	}
 }
 
 // Tick advances an in-flight conversion.
@@ -338,6 +449,7 @@ func (a *ADC) Tick(cycles int) {
 
 // LoadWord implements mem.Handler.
 func (a *ADC) LoadWord(addr uint16) uint16 {
+	a.lazySync()
 	switch addr {
 	case ADCCTLAddr:
 		return a.CTL
@@ -354,6 +466,7 @@ func (a *ADC) LoadWord(addr uint16) uint16 {
 
 // StoreWord implements mem.Handler.
 func (a *ADC) StoreWord(addr uint16, v uint16) {
+	a.lazySync()
 	switch addr {
 	case ADCCTLAddr:
 		a.CTL = v &^ ADCStart
@@ -531,6 +644,37 @@ type Ultrasonic struct {
 	done    bool
 	busyFor int
 	pings   int
+
+	// Clock supplies the current cycle count for lazy catch-up on
+	// register access (nil for standalone use).
+	Clock  func() uint64
+	synced uint64
+}
+
+// SyncTo implements Cycled.
+func (u *Ultrasonic) SyncTo(cycle uint64) {
+	if cycle > u.synced {
+		u.Tick(int(cycle - u.synced))
+		u.synced = cycle
+	}
+}
+
+// Resync implements Cycled.
+func (u *Ultrasonic) Resync(cycle uint64) { u.synced = cycle }
+
+// NextEvent implements Cycled: the completion cycle of an in-flight
+// measurement.
+func (u *Ultrasonic) NextEvent() uint64 {
+	if u.busyFor <= 0 {
+		return NoEvent
+	}
+	return u.synced + uint64(u.busyFor)
+}
+
+func (u *Ultrasonic) lazySync() {
+	if u.Clock != nil {
+		u.SyncTo(u.Clock())
+	}
 }
 
 // NewUltrasonic creates a ranger with a fixed 25 cm target.
@@ -567,6 +711,7 @@ func (u *Ultrasonic) Tick(cycles int) {
 
 // LoadWord implements mem.Handler.
 func (u *Ultrasonic) LoadWord(addr uint16) uint16 {
+	u.lazySync()
 	switch addr {
 	case USWIDTHAddr:
 		return u.width
@@ -581,6 +726,7 @@ func (u *Ultrasonic) LoadWord(addr uint16) uint16 {
 
 // StoreWord implements mem.Handler.
 func (u *Ultrasonic) StoreWord(addr uint16, v uint16) {
+	u.lazySync()
 	if addr == USTRIGAddr && v != 0 {
 		u.done = false
 		u.busyFor = UltrasonicLatency

@@ -1,0 +1,176 @@
+package periph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refTimer is the original one-cycle-at-a-time timer advance, kept as
+// the reference the closed-form Tick is property-tested against.
+type refTimer struct {
+	CTL, TAR, CCR0 uint16
+	Wraps          uint64
+	requests       int
+}
+
+func (t *refTimer) tick(cycles int) {
+	if t.CTL&TimerModeUp == 0 || t.CCR0 == 0 {
+		return
+	}
+	for i := 0; i < cycles; i++ {
+		t.TAR++
+		if t.TAR >= t.CCR0 {
+			t.TAR = 0
+			t.Wraps++
+			t.CTL |= TimerIFG
+			if t.CTL&TimerIE != 0 {
+				t.requests++
+			}
+		}
+	}
+}
+
+// TestTimerTickClosedForm drives random timer states through the
+// closed-form Tick and the reference loop and requires identical TAR,
+// wrap counts, IFG latching and pending-interrupt state (the pending
+// bit is idempotent, so "requested at least once" is the observable).
+func TestTimerTickClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		q := &IRQController{}
+		tm := NewTimer(0x0160, q, IRQTimerA)
+		ref := &refTimer{}
+		tm.CCR0 = uint16(rng.Intn(300))
+		// TAR can start at/past CCR0 (direct register store), including
+		// the 0xFFFF corner where TAR++ overflows without wrapping.
+		switch rng.Intn(3) {
+		case 0:
+			tm.TAR = uint16(rng.Intn(400))
+		case 1:
+			tm.TAR = 0xFFFF - uint16(rng.Intn(3))
+		default:
+			tm.TAR = uint16(rng.Uint32())
+		}
+		tm.CTL = 0
+		if rng.Intn(4) > 0 {
+			tm.CTL |= TimerModeUp
+		}
+		if rng.Intn(2) > 0 {
+			tm.CTL |= TimerIE
+		}
+		ref.CCR0, ref.TAR, ref.CTL = tm.CCR0, tm.TAR, tm.CTL
+
+		cycles := rng.Intn(2000)
+		tm.Tick(cycles)
+		ref.tick(cycles)
+
+		if tm.TAR != ref.TAR || tm.Wraps != ref.Wraps || tm.CTL != ref.CTL {
+			t.Fatalf("case %d (CCR0=%d cycles=%d): TAR/Wraps/CTL = %d/%d/%04x, want %d/%d/%04x",
+				i, ref.CCR0, cycles, tm.TAR, tm.Wraps, tm.CTL, ref.TAR, ref.Wraps, ref.CTL)
+		}
+		if q.Pending(IRQTimerA) != (ref.requests > 0) {
+			t.Fatalf("case %d: pending=%v, reference requested %d times", i, q.Pending(IRQTimerA), ref.requests)
+		}
+	}
+}
+
+// TestTimerSyncTo checks the lazy-sync anchor arithmetic: sync deltas
+// accumulate like individual ticks, Resync skips cycles, and NextEvent
+// names the exact wrap cycle.
+func TestTimerSyncTo(t *testing.T) {
+	q := &IRQController{}
+	tm := NewTimer(0x0160, q, IRQTimerA)
+	tm.CCR0 = 100
+	tm.CTL = TimerModeUp | TimerIE
+
+	if got := tm.NextEvent(); got != 100 {
+		t.Fatalf("NextEvent = %d, want 100", got)
+	}
+	tm.SyncTo(40)
+	if tm.TAR != 40 {
+		t.Fatalf("TAR = %d after SyncTo(40)", tm.TAR)
+	}
+	tm.SyncTo(40) // idempotent
+	tm.SyncTo(30) // never rewinds
+	if tm.TAR != 40 {
+		t.Fatalf("TAR = %d after redundant syncs", tm.TAR)
+	}
+	if got := tm.NextEvent(); got != 100 {
+		t.Fatalf("NextEvent = %d after partial sync, want 100", got)
+	}
+	tm.SyncTo(100)
+	if tm.TAR != 0 || tm.Wraps != 1 || !q.Pending(IRQTimerA) {
+		t.Fatalf("wrap not delivered at its deadline: TAR=%d wraps=%d pending=%v", tm.TAR, tm.Wraps, q.Pending(IRQTimerA))
+	}
+	// Resync jumps the anchor without ticking (device-reset semantics).
+	tm.Resync(500)
+	if tm.TAR != 0 || tm.Wraps != 1 {
+		t.Fatalf("Resync ticked: TAR=%d wraps=%d", tm.TAR, tm.Wraps)
+	}
+	if got := tm.NextEvent(); got != 600 {
+		t.Fatalf("NextEvent = %d after Resync(500), want 600", got)
+	}
+}
+
+// TestTimerLazyRegisterSync: with a Clock attached, register accesses
+// observe state as of the clock without any explicit Tick calls.
+func TestTimerLazyRegisterSync(t *testing.T) {
+	var now uint64
+	q := &IRQController{}
+	tm := NewTimer(0x0160, q, IRQTimerA)
+	tm.Clock = func() uint64 { return now }
+	tm.StoreWord(0x0160, TimerModeUp)
+	tm.StoreWord(0x0172, 50) // CCR0 = 50
+	now = 30
+	if got := tm.LoadWord(0x0170); got != 30 { // TAR
+		t.Fatalf("TAR reads %d at clock 30", got)
+	}
+	now = 75
+	if got := tm.LoadWord(0x0170); got != 25 {
+		t.Fatalf("TAR reads %d at clock 75 (one wrap), want 25", got)
+	}
+	if tm.Wraps != 1 {
+		t.Fatalf("Wraps = %d", tm.Wraps)
+	}
+}
+
+// TestADCNextEvent pins the conversion deadline arithmetic.
+func TestADCNextEvent(t *testing.T) {
+	a := NewADC(nil, IRQADC)
+	a.Attach(0, func(int) uint16 { return 7 })
+	if a.NextEvent() != NoEvent {
+		t.Fatal("idle ADC reports a deadline")
+	}
+	a.StoreWord(ADCCTLAddr, ADCStart)
+	if got := a.NextEvent(); got != ADCConversionCycles {
+		t.Fatalf("NextEvent = %d, want %d", got, ADCConversionCycles)
+	}
+	a.SyncTo(ADCConversionCycles - 1)
+	if a.LoadWord(ADCSTAGES) != 0 {
+		t.Fatal("conversion completed a cycle early")
+	}
+	a.SyncTo(ADCConversionCycles)
+	if a.LoadWord(ADCSTAGES) != ADCDone {
+		t.Fatal("conversion missed its deadline")
+	}
+	if a.NextEvent() != NoEvent {
+		t.Fatal("completed ADC still reports a deadline")
+	}
+}
+
+// TestUltrasonicNextEvent pins the ping deadline arithmetic.
+func TestUltrasonicNextEvent(t *testing.T) {
+	u := NewUltrasonic(nil, IRQUltrasonic)
+	if u.NextEvent() != NoEvent {
+		t.Fatal("idle ranger reports a deadline")
+	}
+	u.Resync(1000)
+	u.StoreWord(USTRIGAddr, 1)
+	if got := u.NextEvent(); got != 1000+UltrasonicLatency {
+		t.Fatalf("NextEvent = %d, want %d", got, 1000+UltrasonicLatency)
+	}
+	u.SyncTo(1000 + UltrasonicLatency)
+	if u.LoadWord(USSTATAddr) != 1 {
+		t.Fatal("measurement missed its deadline")
+	}
+}
