@@ -13,34 +13,35 @@ vet:
 test:
 	$(GO) test ./...
 
-# The fast/slow differential and tick-equivalence suites are the
-# correctness contract of the hot-path optimizations; this target fails
-# if any of them is skipped or matches nothing.
+# The fast/slow, block-execution and tick-equivalence differential
+# suites are the correctness contract of the hot-path optimizations;
+# this target fails if any of them is skipped or matches nothing.
 test-differential:
-	@out=$$($(GO) test -v -run 'TestDispatchDifferential|TestFastSlow|TestTickEquivalence|TestTimerTickClosedForm' \
+	@out=$$($(GO) test -v -run 'TestDispatchDifferential|TestFastSlow|TestBlock|TestTickEquivalence|TestTimerTickClosedForm' \
 		./internal/mem ./internal/core ./internal/periph) || { echo "$$out"; exit 1; }; \
 	echo "$$out" | grep -q -- '--- PASS' || { echo 'no differential tests ran'; exit 1; }; \
 	if echo "$$out" | grep -q -- '--- SKIP'; then echo "$$out" | grep -- '--- SKIP'; echo 'differential tests were skipped'; exit 1; fi; \
 	echo "differential suites: $$(echo "$$out" | grep -c -- '--- PASS') passes, no skips"
 
 # One-iteration benchmark pass so throughput regressions surface in PRs
-# without burning CI minutes.
+# without burning CI minutes. NoBlocks rides along so the block layer's
+# contribution stays individually measurable.
 bench-smoke:
-	$(GO) test -run='^$$' -bench=BenchmarkSimulator_Throughput$$ -benchtime=1x .
+	$(GO) test -run='^$$' -bench='BenchmarkSimulator_Throughput$$|BenchmarkSimulator_ThroughputNoBlocks$$' -benchtime=1x .
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
 # bench-json records the performance trajectory in-repo: the simulator
 # throughput benchmarks (timed) plus the Table IV sweep (one iteration),
-# parsed into BENCH_1.json. The bench output goes through a temp file so
-# a failing/panicking benchmark fails the target instead of silently
-# writing a partial BENCH_1.json.
+# parsed into the first free BENCH_<n>.json so each PR appends a point
+# to the trajectory instead of overwriting the previous one. The bench
+# output goes through a temp file so a failing/panicking benchmark fails
+# the target instead of silently writing a partial record.
 bench-json:
-	$(GO) test -run='^$$' -bench='BenchmarkSimulator_Throughput' -benchtime=2s . > BENCH_1.txt.tmp
-	$(GO) test -run='^$$' -bench='BenchmarkSimulator_FleetMatrix$$|BenchmarkTable4$$' -benchtime=1x . >> BENCH_1.txt.tmp
-	$(GO) run ./cmd/eilid-benchjson -o BENCH_1.json < BENCH_1.txt.tmp
-	@rm -f BENCH_1.txt.tmp
-	@echo wrote BENCH_1.json
+	$(GO) test -run='^$$' -bench='BenchmarkSimulator_Throughput' -benchtime=2s . > BENCH.txt.tmp
+	$(GO) test -run='^$$' -bench='BenchmarkSimulator_FleetMatrix$$|BenchmarkTable4$$' -benchtime=1x . >> BENCH.txt.tmp
+	@f=$$($(GO) run ./cmd/eilid-benchjson -next < BENCH.txt.tmp) || { rm -f BENCH.txt.tmp; exit 1; }; \
+	rm -f BENCH.txt.tmp; echo "wrote $$f"
 
 check: build vet test test-differential bench-smoke

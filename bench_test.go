@@ -209,11 +209,11 @@ spin:
 
 // benchmarkThroughput measures raw simulated cycles per second of host
 // time, with or without the predecoded instruction cache, optionally
-// with every hot-path optimization reverted to its reference
-// implementation. The cache is built once (the per-ROM artifact) and
-// shared by every iteration's machine, which is exactly how the fleet
-// runner deploys it.
-func benchmarkThroughput(b *testing.B, predecode, slowPaths bool) {
+// with basic-block execution disabled or with every hot-path
+// optimization reverted to its reference implementation. The cache is
+// built once (the per-ROM artifact) and shared by every iteration's
+// machine, which is exactly how the fleet runner deploys it.
+func benchmarkThroughput(b *testing.B, predecode, noBlocks, slowPaths bool) {
 	p := newPipeline(b)
 	prog, err := p.BuildOriginal("busy.s", busySrc)
 	if err != nil {
@@ -243,6 +243,9 @@ func benchmarkThroughput(b *testing.B, predecode, slowPaths bool) {
 		if pre != nil {
 			m.UsePredecoded(pre)
 		}
+		if noBlocks {
+			m.SetBlockExec(false)
+		}
 		if slowPaths {
 			m.ForceSlowPaths()
 		}
@@ -257,19 +260,28 @@ func benchmarkThroughput(b *testing.B, predecode, slowPaths bool) {
 }
 
 // BenchmarkSimulator_Throughput is the hot path as the fleet runs it:
-// decode cache on, threaded-code executors, page-table bus dispatch,
-// deadline-batched peripheral ticking.
-func BenchmarkSimulator_Throughput(b *testing.B) { benchmarkThroughput(b, true, false) }
+// decode cache on, basic-block execution, threaded-code executors,
+// page-table bus dispatch, deadline-batched peripheral ticking.
+func BenchmarkSimulator_Throughput(b *testing.B) { benchmarkThroughput(b, true, false, false) }
+
+// BenchmarkSimulator_ThroughputNoBlocks disables only the basic-block
+// layer (per-instruction dispatch over the same predecoded entries) —
+// the PR 2 configuration, kept so the block layer's contribution stays
+// individually measurable.
+func BenchmarkSimulator_ThroughputNoBlocks(b *testing.B) { benchmarkThroughput(b, true, true, false) }
 
 // BenchmarkSimulator_ThroughputNoPredecode is the pre-cache baseline,
 // kept for before/after comparison of the decode cache.
-func BenchmarkSimulator_ThroughputNoPredecode(b *testing.B) { benchmarkThroughput(b, false, false) }
+func BenchmarkSimulator_ThroughputNoPredecode(b *testing.B) {
+	benchmarkThroughput(b, false, false, false)
+}
 
 // BenchmarkSimulator_ThroughputSlowPaths runs the decode cache with
 // every other fast path reverted (linear bus dispatch, generic
-// interpreter, per-instruction ticking) — the PR 1 configuration, kept
-// so the optimization layers' contribution stays measurable.
-func BenchmarkSimulator_ThroughputSlowPaths(b *testing.B) { benchmarkThroughput(b, true, true) }
+// interpreter, per-instruction ticking, no block fusion) — the PR 1
+// configuration, kept so the optimization layers' contribution stays
+// measurable.
+func BenchmarkSimulator_ThroughputSlowPaths(b *testing.B) { benchmarkThroughput(b, true, false, true) }
 
 // BenchmarkSimulator_FleetMatrix executes the full application ×
 // variant × scenario matrix through the fleet runner on all CPUs —

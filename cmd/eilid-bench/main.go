@@ -5,6 +5,12 @@
 //	eilid-bench -figure 10        # Figure 10 (hardware cost)
 //	eilid-bench -micro            # §VI store/check micro-overhead
 //	eilid-bench -all              # everything
+//
+// -cpuprofile and -memprofile write pprof profiles of the run, so
+// performance work on the simulator hot loop can profile the real
+// evaluation workload without ad-hoc patches:
+//
+//	eilid-bench -table 4 -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
@@ -12,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"eilid/internal/core"
 	"eilid/internal/eval"
@@ -21,7 +29,7 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("eilid-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	table := fs.Int("table", 0, "regenerate a table (1-4)")
@@ -30,11 +38,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 	all := fs.Bool("all", false, "regenerate everything")
 	iters := fs.Int("iters", 50, "compile iterations for Table IV averaging")
 	workers := fs.Int("workers", 1, "apps measured concurrently for Table IV (1 keeps compile timings contention-free)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
 		}
 		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Created upfront so a bad path fails before the run, not
+		// after; written at exit. A failed write must fail the run
+		// (via the named return), or profiling scripts checking the
+		// exit code would proceed as if the profile had been captured.
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer func() {
+			runtime.GC() // settle allocations so the heap profile is stable
+			err := pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
 	}
 
 	pipeline, err := core.NewPipeline(core.DefaultConfig())

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -37,6 +38,33 @@ func TestBenchTable4Quick(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+func TestBenchProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := dir+"/cpu.prof", dir+"/mem.prof"
+	var out, errb strings.Builder
+	code := run([]string{"-table", "1", "-cpuprofile", cpu, "-memprofile", mem}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}
+
+func TestBenchMemProfileFailureFailsRun(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-table", "1", "-memprofile", t.TempDir() + "/no/such/dir/mem.prof"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("unwritable -memprofile: exit %d, want 1 (stderr: %s)", code, errb.String())
 	}
 }
 

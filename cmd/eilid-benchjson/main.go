@@ -1,7 +1,11 @@
 // Command eilid-benchjson converts `go test -bench` output read from
 // stdin into a JSON benchmark record, so the repository can track its
-// performance trajectory in-repo (see `make bench-json`, which writes
-// BENCH_1.json).
+// performance trajectory in-repo (see `make bench-json`).
+//
+// With -next the output file is auto-selected: the first free
+// BENCH_<n>.json index (n >= 1) in the directory named by -o (default
+// "."), so each PR appends a new point to the trajectory instead of
+// overwriting the previous one. The chosen path is printed to stdout.
 //
 // Every benchmark result line of the form
 //
@@ -16,10 +20,12 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
@@ -47,7 +53,8 @@ func main() {
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("eilid-benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	outPath := fs.String("o", "-", "output file (- for stdout)")
+	outPath := fs.String("o", "-", "output file (- for stdout); with -next, the directory to scan")
+	next := fs.Bool("next", false, "write to the first free BENCH_<n>.json in the -o directory")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -66,7 +73,25 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	w := stdout
-	if *outPath != "-" {
+	if *next {
+		dir := *outPath
+		if dir == "-" {
+			dir = "."
+		}
+		path, err := nextBenchPath(dir)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+		fmt.Fprintln(stdout, path)
+	} else if *outPath != "-" {
 		f, err := os.Create(*outPath)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
@@ -82,6 +107,21 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// nextBenchPath returns dir/BENCH_<n>.json for the smallest n >= 1
+// with no existing file, so successive runs extend the trajectory
+// (BENCH_1.json, BENCH_2.json, ...) without overwriting history.
+func nextBenchPath(dir string) (string, error) {
+	for n := 1; n < 10000; n++ {
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+			return path, nil
+		} else if err != nil {
+			return "", fmt.Errorf("eilid-benchjson: stat %s: %w", path, err)
+		}
+	}
+	return "", fmt.Errorf("eilid-benchjson: no free BENCH_<n>.json index in %s", dir)
 }
 
 func parse(r io.Reader) (*Output, error) {

@@ -70,6 +70,46 @@ func TestRunWritesFile(t *testing.T) {
 	}
 }
 
+func TestRunNextSelectsFreeIndex(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(dir+"/BENCH_1.json", []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	code := run([]string{"-next", "-o", dir}, strings.NewReader(sample), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	want := dir + "/BENCH_2.json"
+	if got := strings.TrimSpace(out.String()); got != want {
+		t.Fatalf("reported path %q, want %q", got, want)
+	}
+	raw, err := os.ReadFile(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed Output
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("BENCH_2.json is not valid JSON: %v", err)
+	}
+	if len(parsed.Benchmarks) != 3 {
+		t.Fatalf("file has %d benchmarks, want 3", len(parsed.Benchmarks))
+	}
+	// The existing record must be untouched.
+	if raw, _ := os.ReadFile(dir + "/BENCH_1.json"); string(raw) != "{}" {
+		t.Fatal("-next overwrote BENCH_1.json")
+	}
+	// A second run with defaults scans the current directory; here just
+	// confirm the next run in the same dir picks index 3.
+	out.Reset()
+	if code := run([]string{"-next", "-o", dir}, strings.NewReader(sample), &out, &errb); code != 0 {
+		t.Fatalf("second -next run failed: %s", errb.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != dir+"/BENCH_3.json" {
+		t.Fatalf("second run chose %q, want BENCH_3.json", got)
+	}
+}
+
 func TestRunRejectsEmptyInput(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run(nil, strings.NewReader("PASS\n"), &out, &errb); code != 1 {

@@ -63,6 +63,11 @@ type Machine struct {
 
 	ctl *simCtl
 
+	// blockExec gates basic-block execution in the run loop; pre is the
+	// installed decode cache the block table is fused from.
+	blockExec bool
+	pre       *isa.Predecoded
+
 	// cycled are the clocked peripherals the run loop batches, in the
 	// order per-instruction ticking historically advanced them.
 	cycled []periph.Cycled
@@ -93,7 +98,7 @@ func NewMachine(opts MachineOptions) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{Space: space, IRQ: &periph.IRQController{}, ctl: &simCtl{}}
+	m := &Machine{Space: space, IRQ: &periph.IRQController{}, ctl: &simCtl{}, blockExec: true}
 	m.CPU = cpu.New(space)
 	// Every backing-store write (CPU stores, image loads, reset clears)
 	// stales the decode cache for the touched window; a no-op until a
@@ -252,14 +257,41 @@ func (m *Machine) EnablePredecode() *isa.Predecoded {
 		return false
 	}
 	p := isa.Predecode(m.Space.PeekWord, l.PMEMStart, 0xFFFF, ramBacked)
-	m.CPU.SetPredecoded(p)
+	m.UsePredecoded(p)
 	return p
 }
 
 // UsePredecoded installs a cache previously built by EnablePredecode on
 // a machine loaded with byte-identical code. Installing asserts the
-// cache matches this machine's memory right now.
-func (m *Machine) UsePredecoded(p *isa.Predecoded) { m.CPU.SetPredecoded(p) }
+// cache matches this machine's memory right now. The cache's fused
+// basic-block table (Predecoded.Blocks — built once, shared by every
+// machine holding the same cache) is installed alongside it unless
+// SetBlockExec(false) disabled block execution.
+func (m *Machine) UsePredecoded(p *isa.Predecoded) {
+	m.pre = p
+	m.CPU.SetPredecoded(p)
+	m.wireBlocks()
+}
+
+// wireBlocks pairs the CPU's block table with the installed decode
+// cache according to the blockExec switch.
+func (m *Machine) wireBlocks() {
+	if m.blockExec && m.pre != nil {
+		m.CPU.SetBlocks(m.pre.Blocks())
+	} else {
+		m.CPU.SetBlocks(nil)
+	}
+}
+
+// SetBlockExec enables (the default) or disables basic-block execution
+// in the run loop, reverting the hot loop to per-instruction dispatch
+// over the same predecoded entries — the reference configuration the
+// block differential tests compare against. Execution is bit-identical
+// either way.
+func (m *Machine) SetBlockExec(on bool) {
+	m.blockExec = on
+	m.wireBlocks()
+}
 
 // ForceSlowPaths reverts every hot-path optimization to its reference
 // implementation: linear bus dispatch, the generic (non-threaded)
@@ -270,6 +302,7 @@ func (m *Machine) ForceSlowPaths() {
 	m.Space.SetLinearDispatch(true)
 	m.CPU.SetFastPaths(false)
 	m.EagerTicks = true
+	m.SetBlockExec(false)
 }
 
 // Halted reports whether firmware wrote the simulation-control register.
@@ -348,6 +381,15 @@ func (m *Machine) RunUntilReset(maxCycles uint64) (RunResult, error) {
 // cycle-exactly equivalent to per-instruction ticking — set EagerTicks
 // to force the reference behaviour and the differential tests to prove
 // it.
+//
+// Within a batch the loop consumes whole basic blocks (cpu.RunBlocks)
+// while the fused deadline/budget limit exceeds the next block's
+// precomputed cycle total, so peripherals, interrupts, the halt latch
+// and the cycle budget are checked only at block boundaries; anything a
+// block cannot retire bit-exactly (interrupt service, low-power idling,
+// stale or unfused code, a block that would straddle the limit) falls
+// back to per-instruction Step. SetBlockExec(false) reverts to Step
+// dispatch throughout; the block differential tests assert equivalence.
 func (m *Machine) runLoop(maxCycles uint64, untilReset bool) (RunResult, error) {
 	startCycles, startInsns, startResets := m.CPU.Cycles, m.CPU.Insns, m.ResetCount
 	// A zero budget can execute nothing: report it as an exhausted
@@ -379,6 +421,14 @@ func (m *Machine) runLoop(maxCycles uint64, untilReset bool) (RunResult, error) 
 		}
 		return stop
 	}
+	// Monitor violations must be observed after every instruction, so
+	// the block executor polls this between fused ops on protected
+	// machines; unprotected machines pass nil and pay nothing.
+	var stopFn func() bool
+	if mon != nil {
+		stopFn = func() bool { return mon.Violation() != nil }
+	}
+	useBlocks := m.blockExec && !m.EagerTicks
 	limit := newLimit()
 	for !ctl.halted {
 		if untilReset && m.ResetCount != startResets {
@@ -391,6 +441,23 @@ func (m *Machine) runLoop(maxCycles uint64, untilReset bool) (RunResult, error) 
 			}
 			m.syncPeriph()
 			limit = newLimit()
+		}
+		if useBlocks {
+			if ran, blkPre, err := cpu.RunBlocks(limit, stopFn); ran || err != nil {
+				if mon != nil {
+					if v := mon.Violation(); v != nil {
+						m.syncPeriphTo(blkPre)
+						m.deviceReset(*v)
+						limit = newLimit()
+						continue
+					}
+				}
+				if err != nil {
+					m.syncPeriph()
+					return m.result(startCycles, startInsns, startResets), err
+				}
+				continue
+			}
 		}
 		pre := cpu.Cycles
 		_, err := cpu.Step()

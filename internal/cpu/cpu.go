@@ -110,6 +110,20 @@ type CPU struct {
 	preEntries []isa.Entry
 	dirty      []uint64
 
+	// blkStart/blkTable mirror the installed basic-block table (see
+	// isa.Blocks) so the block lookup needs no pointer chase. invGen
+	// counts InvalidateCode calls: the block executor snapshots it and
+	// re-checks its block's stale range when a write lands mid-block.
+	// busTouched is set by every bus access that leaves the plain-RAM
+	// fast path; the block executor clears it per block and ends the
+	// block after any op that set it, handing control back to the
+	// machine loop exactly where per-instruction dispatch would have
+	// observed the side effect (peripheral state, halt, IRQ catch-up).
+	blkStart   uint16
+	blkTable   []isa.Block
+	invGen     uint64
+	busTouched bool
+
 	// slab/plain/hook are the DirectBus fast path (nil on plain buses);
 	// slowMode forces the generic interpreter and the interface bus path
 	// for differential testing.
@@ -159,10 +173,21 @@ func (c *CPU) SetPredecoded(p *isa.Predecoded) {
 	c.pre = p
 	c.preStart, c.preEntries = p.Table()
 	c.dirty = nil
+	// A block table is only valid against the cache it was fused from;
+	// drop it until the caller re-pairs them.
+	c.SetBlocks(nil)
 }
 
 // Predecoded returns the installed decode cache, if any.
 func (c *CPU) Predecoded() *isa.Predecoded { return c.pre }
+
+// SetBlocks installs (or, with nil, removes) a basic-block table fused
+// from the installed decode cache (isa.BuildBlocks / Predecoded.Blocks).
+// The caller asserts the table matches the installed cache; install the
+// cache first, then its blocks.
+func (c *CPU) SetBlocks(b *isa.Blocks) {
+	c.blkStart, c.blkTable = b.Table()
+}
 
 // InvalidateCode records that the n bytes at addr were overwritten, so
 // cached decodes whose fetch window covers them must re-decode live. An
@@ -174,6 +199,7 @@ func (c *CPU) InvalidateCode(addr uint16, n int) {
 	if c.pre == nil || n <= 0 {
 		return
 	}
+	c.invGen++
 	if c.dirty == nil {
 		c.dirty = make([]uint64, dirtyWords/64)
 	}
@@ -222,6 +248,7 @@ func (c *CPU) loadWord(pc, addr uint16) uint16 {
 	if a := addr &^ 1; c.slab != nil && !c.slowMode && c.plain[a] {
 		return uint16(c.slab[a]) | uint16(c.slab[a+1])<<8
 	}
+	c.busTouched = true
 	return c.bus.LoadWord(addr)
 }
 
@@ -237,6 +264,7 @@ func (c *CPU) storeWord(pc, addr, v uint16) {
 		}
 		return
 	}
+	c.busTouched = true
 	c.bus.StoreWord(addr, v)
 }
 
@@ -247,6 +275,7 @@ func (c *CPU) loadByte(pc, addr uint16) uint8 {
 	if c.slab != nil && !c.slowMode && c.plain[addr] {
 		return c.slab[addr]
 	}
+	c.busTouched = true
 	return c.bus.LoadByte(addr)
 }
 
@@ -261,6 +290,7 @@ func (c *CPU) storeByte(pc, addr uint16, v uint8) {
 		}
 		return
 	}
+	c.busTouched = true
 	c.bus.StoreByte(addr, v)
 }
 
@@ -499,6 +529,9 @@ func width(byteOp bool) (mask, sign uint16) {
 // addFlags computes C,Z,N,V for dst+src+carryIn at the given width, and
 // the result.
 func addFlags(src, dst uint16, carryIn uint16, byteOp bool) (r uint16, f uint16) {
+	if !byteOp {
+		return addFlagsW(src, dst, carryIn)
+	}
 	mask, sign := width(byteOp)
 	src &= mask
 	dst &= mask
@@ -512,6 +545,25 @@ func addFlags(src, dst uint16, carryIn uint16, byteOp bool) (r uint16, f uint16)
 		f |= isa.FlagV
 	}
 	return r, f
+}
+
+// addFlagsW is addFlags specialized to word width with branchless flag
+// assembly — the shape the register-destination hot path executes. Bit
+// positions: C=1<<0 (carry out of bit 15), Z=1<<1, N=1<<2 (bit 15
+// shifted down), V=1<<8 (equal operand signs, differing result sign).
+func addFlagsW(src, dst, carryIn uint16) (r uint16, f uint16) {
+	full := uint32(src) + uint32(dst) + uint32(carryIn)
+	r = uint16(full)
+	f = uint16(full>>16) |
+		uint16((uint32(r)-1)>>31)<<1 |
+		r>>13&isa.FlagN |
+		(^(src^dst)&(src^r))>>7&isa.FlagV
+	return r, f
+}
+
+// nzW is nz specialized to word width, branchless.
+func nzW(r uint16) uint16 {
+	return uint16((uint32(r)-1)>>31)<<1 | r>>13&isa.FlagN
 }
 
 // dadd performs one BCD addition at the given width.
@@ -772,7 +824,7 @@ func (c *CPU) doFormat1(pc uint16, op isa.Opcode, byteOp bool, src uint16, dl lo
 func (c *CPU) execUOp(pc uint16, u *isa.UOp) error {
 	switch u.Class {
 	case isa.UFmt1Reg:
-		return c.execFmt1Reg(pc, u)
+		return c.execFmt1Reg(u, c.uSrc(pc, u))
 	case isa.UJump:
 		if c.jumpTaken(u.Op) {
 			c.R[isa.PC] = u.Target
@@ -867,12 +919,238 @@ func (c *CPU) uLoc(kind uint8, reg isa.Reg, val, inc uint16) loc {
 	}
 }
 
+// --- basic-block execution ---------------------------------------------
+
+// staleRange reports whether any dirty bit is set in the word-index
+// range [w0, w1] — the block-granular form of staleAt.
+func (c *CPU) staleRange(w0, w1 uint16) bool {
+	d := c.dirty
+	if d == nil {
+		return false
+	}
+	i0, i1 := int(w0)>>6, int(w1)>>6
+	lo := ^uint64(0) << (w0 & 63)
+	hi := ^uint64(0) >> (63 - w1&63)
+	if i0 == i1 {
+		return d[i0]&lo&hi != 0
+	}
+	if d[i0]&lo != 0 {
+		return true
+	}
+	for i := i0 + 1; i < i1; i++ {
+		if d[i] != 0 {
+			return true
+		}
+	}
+	return d[i1]&hi != 0
+}
+
+// RunBlocks executes whole predecoded basic blocks back to back while
+// the next block's precomputed cycle total fits under limit, servicing
+// nothing in between: the machine loop guarantees no peripheral acts
+// before limit, and every way the world can change mid-block hands
+// control back here bit-exactly —
+//
+//   - an op whose bus access leaves plain RAM (peripheral register,
+//     unmapped space) ends its block after that op, so halts, handler
+//     catch-up and newly raised interrupts are observed exactly where
+//     per-instruction dispatch would observe them;
+//   - a write landing in the block's own fetch window (self-modifying
+//     code) ends the block before the next op re-fetches, via the same
+//     dirty map that guards individual predecoded entries;
+//   - with GIE set the pending-interrupt poll runs between ops exactly
+//     as Step's does (interrupt visibility can be PC-gated, so it is
+//     not loop-invariant even though pure ops cannot raise requests);
+//   - stop, when non-nil, is polled after every op (the machine's
+//     monitor-violation check) and true ends execution there.
+//
+// Interrupt service, low-power idling and non-fused instructions are
+// never handled here; the caller falls back to Step. Returns whether
+// at least one instruction executed, the cycle count observed before
+// the last executed instruction (the machine's violation re-sync
+// anchor), and any execution fault.
+func (c *CPU) RunBlocks(limit uint64, stop func() bool) (executed bool, lastPre uint64, err error) {
+	if c.blkTable == nil || c.slowMode {
+		return false, 0, nil
+	}
+	for {
+		sr := c.R[isa.SR]
+		if sr&isa.FlagCPUOff != 0 {
+			return
+		}
+		gie := c.IRQ != nil && sr&isa.FlagGIE != 0
+		if gie && c.IRQ.HighestPending() >= 0 {
+			return
+		}
+		pc := c.R[isa.PC]
+		if pc&1 != 0 || pc < c.blkStart {
+			return
+		}
+		i := int(pc-c.blkStart) >> 1
+		if i >= len(c.blkTable) {
+			return
+		}
+		b := &c.blkTable[i]
+		ops := b.Ops
+		if ops == nil {
+			return
+		}
+		// Admission: entry + total <= limit implies every op starts
+		// strictly below limit, exactly the per-instruction rule.
+		if c.Cycles+uint64(b.Cycles) > limit {
+			return
+		}
+		if c.staleRange(b.W0, b.W1) {
+			return
+		}
+
+		if b.Pure && !gie && stop == nil && c.Watch == nil {
+			// Pure blocks touch no memory: nothing observes PC, cycles,
+			// SR or prevPC mid-block, so account in bulk, elide dead
+			// flag results, and execute the hot op shapes inline. No
+			// pure op reads c.R[PC] (register-mode PC reads were folded
+			// at predecode time), so the PC needs writing once, before
+			// the final op executes. A block whose terminating jump
+			// lands back on its own first op re-runs in place: pure ops
+			// cannot change SR system bits, interrupt visibility or
+			// code memory, so only the deadline admission needs
+			// re-checking per trip.
+			n := len(ops)
+			for {
+				c.R[isa.PC] = ops[n-1].Next
+				for k := range ops {
+					op := &ops[k]
+					u := op.U
+					switch u.Class {
+					case isa.UFmt1Reg:
+						src := u.SrcVal
+						if u.SrcK == isa.SrcReg {
+							src = c.R[u.SrcReg]
+						}
+						if op.Flags {
+							if e := c.execFmt1Reg(u, src); e != nil {
+								return c.blockFault(b, k, executed, lastPre, e)
+							}
+						} else {
+							// The hottest dead-flag ops inline; the
+							// rest share the out-of-line twin.
+							switch u.Op {
+							case isa.MOV:
+								c.R[u.DstReg] = src
+							case isa.ADD:
+								c.R[u.DstReg] += src
+							case isa.SUB:
+								c.R[u.DstReg] -= src
+							case isa.XOR:
+								c.R[u.DstReg] ^= src
+							case isa.AND:
+								c.R[u.DstReg] &= src
+							case isa.BIS:
+								c.R[u.DstReg] |= src
+							case isa.BIC:
+								c.R[u.DstReg] &^= src
+							default:
+								c.fmt1RegDeadFlags(u, src)
+							}
+						}
+					case isa.UJump:
+						if c.jumpTaken(u.Op) {
+							c.R[isa.PC] = u.Target
+						}
+					default:
+						if e := c.execUOp(op.PC, u); e != nil {
+							return c.blockFault(b, k, executed, lastPre, e)
+						}
+					}
+				}
+				c.Cycles += uint64(b.Cycles)
+				c.Insns += uint64(n)
+				executed = true
+				if c.R[isa.PC] != pc || c.Cycles+uint64(b.Cycles) > limit {
+					break
+				}
+			}
+			c.prevPC = ops[n-1].PC
+			continue
+		}
+
+		g0 := c.invGen
+		c.busTouched = false
+		for k := range ops {
+			op := &ops[k]
+			lastPre = c.Cycles
+			if c.Watch != nil {
+				c.Watch.OnFetch(c.prevPC, op.PC)
+			}
+			c.R[isa.PC] = op.Next
+			c.prevPC = op.PC
+			if e := c.execUOp(op.PC, op.U); e != nil {
+				return executed, lastPre, &ExecError{PC: op.PC, Err: e}
+			}
+			c.Cycles += uint64(op.Cycles)
+			c.Insns++
+			executed = true
+			if c.busTouched {
+				return
+			}
+			if c.invGen != g0 {
+				if c.staleRange(b.W0, b.W1) {
+					return
+				}
+				g0 = c.invGen
+			}
+			if stop != nil && stop() {
+				return
+			}
+			if gie && k+1 < len(ops) && c.IRQ.HighestPending() >= 0 {
+				return
+			}
+		}
+	}
+}
+
+// blockFault finalizes state when a fused op faults — unreachable for
+// lowered ops in practice, kept for parity with Step: completed ops of
+// the current trip stay accounted, the faulting op consumes nothing,
+// and PC/prevPC are left exactly as Step would leave them. (Flag
+// results elided as dead earlier in a pure block are not recomputed;
+// they are only provably dead on the fault-free path.)
+func (c *CPU) blockFault(b *isa.Block, k int, executed bool, lastPre uint64, e error) (bool, uint64, error) {
+	for j := 0; j < k; j++ {
+		c.Cycles += uint64(b.Ops[j].Cycles)
+	}
+	c.Insns += uint64(k)
+	op := &b.Ops[k]
+	c.R[isa.PC] = op.Next
+	c.prevPC = op.PC
+	return executed || k > 0, lastPre, &ExecError{PC: op.PC, Err: e}
+}
+
+// fmt1RegDeadFlags executes the register-destination micro-ops the
+// pure block loop does not inline — the carry-consuming and flag-only
+// shapes — when their flag results were proven dead within the block:
+// the register effects of execFmt1Reg without the SR computation.
+func (c *CPU) fmt1RegDeadFlags(u *isa.UOp, src uint16) {
+	d := &c.R[u.DstReg]
+	switch u.Op {
+	case isa.ADDC:
+		*d += src + c.R[isa.SR]&isa.FlagC
+	case isa.SUBC:
+		*d += ^src + c.R[isa.SR]&isa.FlagC
+	case isa.DADD:
+		r, _ := dadd(src, *d, c.R[isa.SR]&isa.FlagC, false)
+		*d = r
+	case isa.CMP, isa.BIT:
+		// Flag-only ops whose flags are dead: no architectural effect.
+	}
+}
+
 // execFmt1Reg executes a word-width double-operand micro-op whose
 // destination is a plain general-purpose register (R4..R15) with the
-// location indirection stripped. The op semantics mirror doFormat1 for
-// word width exactly (mask 0xFFFF, sign 0x8000).
-func (c *CPU) execFmt1Reg(pc uint16, u *isa.UOp) error {
-	src := c.uSrc(pc, u)
+// location indirection stripped and the source already evaluated. The
+// op semantics mirror doFormat1 for word width exactly (mask 0xFFFF,
+// sign 0x8000).
+func (c *CPU) execFmt1Reg(u *isa.UOp, src uint16) error {
 	d := &c.R[u.DstReg]
 	dst := *d
 	carry := c.R[isa.SR] & isa.FlagC // 0 or 1: FlagC is bit 0
@@ -880,23 +1158,23 @@ func (c *CPU) execFmt1Reg(pc uint16, u *isa.UOp) error {
 	case isa.MOV:
 		*d = src
 	case isa.ADD:
-		r, f := addFlags(src, dst, 0, false)
+		r, f := addFlagsW(src, dst, 0)
 		*d = r
 		c.setFlags(f, allFlags)
 	case isa.ADDC:
-		r, f := addFlags(src, dst, carry, false)
+		r, f := addFlagsW(src, dst, carry)
 		*d = r
 		c.setFlags(f, allFlags)
 	case isa.SUB:
-		r, f := addFlags(^src, dst, 1, false)
+		r, f := addFlagsW(^src, dst, 1)
 		*d = r
 		c.setFlags(f, allFlags)
 	case isa.SUBC:
-		r, f := addFlags(^src, dst, carry, false)
+		r, f := addFlagsW(^src, dst, carry)
 		*d = r
 		c.setFlags(f, allFlags)
 	case isa.CMP:
-		_, f := addFlags(^src, dst, 1, false)
+		_, f := addFlagsW(^src, dst, 1)
 		c.setFlags(f, allFlags)
 	case isa.DADD:
 		r, f := dadd(src, dst, carry, false)
@@ -904,7 +1182,7 @@ func (c *CPU) execFmt1Reg(pc uint16, u *isa.UOp) error {
 		c.setFlags(f, allFlags)
 	case isa.BIT:
 		r := src & dst
-		f := nz(r, false)
+		f := nzW(r)
 		if r != 0 {
 			f |= isa.FlagC
 		}
@@ -915,7 +1193,7 @@ func (c *CPU) execFmt1Reg(pc uint16, u *isa.UOp) error {
 		*d = dst | src
 	case isa.XOR:
 		r := src ^ dst
-		f := nz(r, false)
+		f := nzW(r)
 		if r != 0 {
 			f |= isa.FlagC
 		}
@@ -926,7 +1204,7 @@ func (c *CPU) execFmt1Reg(pc uint16, u *isa.UOp) error {
 		c.setFlags(f, allFlags)
 	case isa.AND:
 		r := src & dst
-		f := nz(r, false)
+		f := nzW(r)
 		if r != 0 {
 			f |= isa.FlagC
 		}

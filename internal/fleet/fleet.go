@@ -3,8 +3,9 @@
 // on independent core.Machine instances while sharing the expensive
 // read-only build artifacts — each firmware is assembled and
 // instrumented exactly once via core.Pipeline, and its predecoded
-// instruction cache (core.Machine.EnablePredecode) is built once per
-// ROM and handed to every machine that runs it. Job results are
+// instruction cache (core.Machine.EnablePredecode) and fused
+// basic-block table (isa.Predecoded.Blocks) are built once per ROM and
+// handed to every machine that runs it. Job results are
 // aggregated deterministically in job order, so a run with eight
 // workers is byte-identical to a sequential run of the same matrix.
 //
@@ -213,7 +214,12 @@ func (r *Runner) snapshot(img *asm.Image, protected bool) (*isa.Predecoded, erro
 	if err := img.WriteTo(m.Space); err != nil {
 		return nil, err
 	}
-	return m.EnablePredecode(), nil
+	pre := m.EnablePredecode()
+	// Fuse the basic-block table now, during sequential preparation, so
+	// the first job to run this ROM does not pay for it and every
+	// machine shares the one per-ROM table.
+	pre.Blocks()
+	return pre, nil
 }
 
 // Jobs returns the enumerated matrix in execution order.

@@ -1,5 +1,7 @@
 package isa
 
+import "sync"
+
 // Entry caches one successful decode at a fixed fetch address: the
 // raised Instruction (the generic interpreter's input), its
 // threaded-code lowering (the fast interpreter's input, valid when Fast
@@ -30,6 +32,13 @@ type Entry struct {
 type Predecoded struct {
 	start   uint16
 	entries []Entry
+
+	// blkOnce/blk lazily build the basic-block table fused from the
+	// entries (see BuildBlocks). Keeping the blocks on the cache means
+	// every machine sharing this per-ROM artifact also shares one block
+	// table, built at most once, concurrency-safe.
+	blkOnce sync.Once
+	blk     *Blocks
 }
 
 // Predecode decodes every even address in [start, end] using read to
@@ -98,6 +107,18 @@ func (p *Predecoded) EntryAt(addr uint16) *Entry {
 		return nil
 	}
 	return &p.entries[i]
+}
+
+// Blocks returns the basic-block table fused from this cache's entries,
+// building it on first use. The table is immutable and shared by every
+// caller — the per-ROM artifact the fleet runner hands to each machine
+// alongside the decode cache itself.
+func (p *Predecoded) Blocks() *Blocks {
+	if p == nil {
+		return nil
+	}
+	p.blkOnce.Do(func() { p.blk = BuildBlocks(p) })
+	return p.blk
 }
 
 // Lookup returns the cached instruction, its size in bytes and its cycle
