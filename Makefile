@@ -13,21 +13,23 @@ vet:
 test:
 	$(GO) test ./...
 
-# The fast/slow, block-execution and tick-equivalence differential
-# suites are the correctness contract of the hot-path optimizations;
-# this target fails if any of them is skipped or matches nothing.
+# The fast/slow, block-execution, tick-equivalence and
+# recycled-vs-fresh differential suites are the correctness contract of
+# the hot-path optimizations and the machine-recycling subsystem; this
+# target fails if any of them is skipped or matches nothing.
 test-differential:
-	@out=$$($(GO) test -v -run 'TestDispatchDifferential|TestFastSlow|TestBlock|TestTickEquivalence|TestTimerTickClosedForm' \
-		./internal/mem ./internal/core ./internal/periph) || { echo "$$out"; exit 1; }; \
+	@out=$$($(GO) test -v -run 'TestDispatchDifferential|TestFastSlow|TestBlock|TestTickEquivalence|TestTimerTickClosedForm|TestRecycle' \
+		./internal/mem ./internal/core ./internal/periph ./internal/fleet) || { echo "$$out"; exit 1; }; \
 	echo "$$out" | grep -q -- '--- PASS' || { echo 'no differential tests ran'; exit 1; }; \
 	if echo "$$out" | grep -q -- '--- SKIP'; then echo "$$out" | grep -- '--- SKIP'; echo 'differential tests were skipped'; exit 1; fi; \
 	echo "differential suites: $$(echo "$$out" | grep -c -- '--- PASS') passes, no skips"
 
 # One-iteration benchmark pass so throughput regressions surface in PRs
 # without burning CI minutes. NoBlocks rides along so the block layer's
-# contribution stays individually measurable.
+# contribution stays individually measurable; MachineChurn guards the
+# recycled machine-lifecycle overhead.
 bench-smoke:
-	$(GO) test -run='^$$' -bench='BenchmarkSimulator_Throughput$$|BenchmarkSimulator_ThroughputNoBlocks$$' -benchtime=1x .
+	$(GO) test -run='^$$' -bench='BenchmarkSimulator_Throughput$$|BenchmarkSimulator_ThroughputNoBlocks$$|BenchmarkFleet_MachineChurn' -benchtime=1x .
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
@@ -39,7 +41,7 @@ bench:
 # output goes through a temp file so a failing/panicking benchmark fails
 # the target instead of silently writing a partial record.
 bench-json:
-	$(GO) test -run='^$$' -bench='BenchmarkSimulator_Throughput' -benchtime=2s . > BENCH.txt.tmp
+	$(GO) test -run='^$$' -bench='BenchmarkSimulator_Throughput|BenchmarkFleet_MachineChurn' -benchtime=2s . > BENCH.txt.tmp
 	$(GO) test -run='^$$' -bench='BenchmarkSimulator_FleetMatrix$$|BenchmarkTable4$$' -benchtime=1x . >> BENCH.txt.tmp
 	@f=$$($(GO) run ./cmd/eilid-benchjson -next < BENCH.txt.tmp) || { rm -f BENCH.txt.tmp; exit 1; }; \
 	rm -f BENCH.txt.tmp; echo "wrote $$f"

@@ -312,6 +312,60 @@ func BenchmarkSimulator_FleetMatrix(b *testing.B) {
 	b.ReportMetric(float64(jobs)/sec, "jobs/s")
 }
 
+// BenchmarkFleet_MachineChurn isolates the per-job machine-lifecycle
+// overhead the fleet pays before the first simulated instruction runs.
+// construct-per-job is the pre-recycling lifecycle: NewMachine + secure
+// ROM + firmware load + shared-cache install + boot, every job.
+// recycled is the pooled lifecycle: Recycle (snapshot restore + power-on
+// resets) + boot. The recycling subsystem's acceptance bar is recycled
+// per-job overhead at least 2× below construct-per-job.
+func BenchmarkFleet_MachineChurn(b *testing.B) {
+	p := newPipeline(b)
+	app, ok := apps.ByName("TempSensor")
+	if !ok {
+		b.Fatal("TempSensor application missing")
+	}
+	build, err := p.Build(app.Name+".s", app.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newMachine := func(b *testing.B) *core.Machine {
+		b.Helper()
+		m, err := core.NewMachine(core.MachineOptions{Config: p.Config(), ROM: p.ROM(), Protected: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.LoadFirmware(build.Instrumented.Image); err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	// The shared per-ROM decode cache + block table, as the fleet
+	// prepares them once, untimed.
+	pre := newMachine(b).EnablePredecode()
+	pre.Blocks()
+
+	b.Run("construct-per-job", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := newMachine(b)
+			m.UsePredecoded(pre)
+			m.Boot()
+		}
+	})
+	b.Run("recycled", func(b *testing.B) {
+		m := newMachine(b)
+		m.UsePredecoded(pre)
+		m.Snapshot()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.Recycle(); err != nil {
+				b.Fatal(err)
+			}
+			m.Boot()
+		}
+	})
+}
+
 // BenchmarkEILIDsw_RoundTrip measures one full gateway round trip
 // (store_ra) on the protected machine.
 func BenchmarkEILIDsw_RoundTrip(b *testing.B) {

@@ -65,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	noScenarios := fs.Bool("no-scenarios", false, "skip the attack dimension")
 	jsonOut := fs.String("json", "", "stream the results as NDJSON (one line per job + a summary line) to this file (- for stdout)")
 	verify := fs.Bool("verify", false, "replay sequentially and require byte-identical results")
+	recycle := fs.Bool("recycle", true, "recycle pooled machines between jobs (false = construct per job)")
 	quiet := fs.Bool("q", false, "suppress the per-job table")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -85,6 +86,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		NoScenarios: *noScenarios,
 		Repeat:      *repeat,
 		Workers:     *workers,
+		NoRecycle:   !*recycle,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)

@@ -42,23 +42,28 @@ type Inspection struct {
 	Cycles   uint64
 	Insns    uint64
 	Resets   int
-	UART     string
-	LCD      [2]string
-	P1Events []uint8 // P1OUT transition values, in order
-	P2Events []uint8
+	// ReasonsRecorded counts the retained per-reset violation records;
+	// Resets keeps the true total when a reset storm saturates the
+	// machine's bounded reason log.
+	ReasonsRecorded int
+	UART            string
+	LCD             [2]string
+	P1Events        []uint8 // P1OUT transition values, in order
+	P2Events        []uint8
 }
 
 // Inspect captures a machine's observable state. res is the result of the
 // Run that finished.
 func Inspect(m *core.Machine, res core.RunResult) *Inspection {
 	insp := &Inspection{
-		Halted:   res.Halted,
-		ExitCode: res.ExitCode,
-		Cycles:   res.Cycles,
-		Insns:    res.Insns,
-		Resets:   m.ResetCount,
-		UART:     m.UART.Transcript(),
-		LCD:      [2]string{m.LCD.Row(0), m.LCD.Row(1)},
+		Halted:          res.Halted,
+		ExitCode:        res.ExitCode,
+		Cycles:          res.Cycles,
+		Insns:           res.Insns,
+		Resets:          m.ResetCount,
+		ReasonsRecorded: len(m.ResetReasons),
+		UART:            m.UART.Transcript(),
+		LCD:             [2]string{m.LCD.Row(0), m.LCD.Row(1)},
 	}
 	for _, e := range m.Port1.Events {
 		insp.P1Events = append(insp.P1Events, e.Value)

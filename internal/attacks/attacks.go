@@ -62,9 +62,13 @@ type Outcome struct {
 	ExitCode    uint16 // final simulation-control value
 	Resets      int    // hardware resets observed
 	Reason      string // first reset cause, if any
-	Cycles      uint64 // total MCLK cycles since power-on
-	Insns       uint64 // instructions executed since power-on
-	UART        string // transmit transcript
+	// ReasonsRecorded is how many per-reset violation records the
+	// machine retained; under a reset storm it saturates at
+	// core.MaxResetReasons while Resets keeps the true total.
+	ReasonsRecorded int
+	Cycles          uint64 // total MCLK cycles since power-on
+	Insns           uint64 // instructions executed since power-on
+	UART            string // transmit transcript
 }
 
 // Result pairs the baseline and protected outcomes of one scenario.
@@ -139,8 +143,12 @@ func Run(p *core.Pipeline, sc Scenario) (Result, error) {
 	return Result{Scenario: sc, Baseline: base, Protected: prot}, nil
 }
 
-// Execute runs the scenario once against a prebuilt target.
-func Execute(t Target, sc Scenario) (Outcome, error) {
+// NewMachine constructs a fresh device for this target: variant
+// options applied, image loaded, shared decode cache installed when the
+// target carries one. The fleet's machine pool builds every pooled
+// machine through this helper, seals it with core.Machine.Snapshot and
+// recycles it between jobs.
+func (t Target) NewMachine() (*core.Machine, error) {
 	opts := core.MachineOptions{Config: t.Config}
 	if t.Protected {
 		opts.ROM = t.ROM
@@ -148,14 +156,31 @@ func Execute(t Target, sc Scenario) (Outcome, error) {
 	}
 	m, err := core.NewMachine(opts)
 	if err != nil {
-		return Outcome{}, err
+		return nil, err
 	}
 	if err := t.Image.WriteTo(m.Space); err != nil {
-		return Outcome{}, err
+		return nil, err
 	}
 	if t.Predecoded != nil {
 		m.UsePredecoded(t.Predecoded)
 	}
+	return m, nil
+}
+
+// Execute runs the scenario once against a prebuilt target on a fresh
+// machine.
+func Execute(t Target, sc Scenario) (Outcome, error) {
+	m, err := t.NewMachine()
+	if err != nil {
+		return Outcome{}, err
+	}
+	return ExecuteOn(m, t, sc)
+}
+
+// ExecuteOn runs the scenario on a prepared machine — fresh from
+// Target.NewMachine, or recycled by the fleet's machine pool — which
+// must carry the target's image (and decode cache, when shared).
+func ExecuteOn(m *core.Machine, t Target, sc Scenario) (Outcome, error) {
 	syms := t.Symbols
 	protected := t.Protected
 	if sc.Payload != nil {
@@ -207,6 +232,7 @@ func outcomeOf(m *core.Machine) Outcome {
 		UART:     m.UART.Transcript(),
 	}
 	o.Compromised = o.Halted && o.ExitCode == CompromiseCode
+	o.ReasonsRecorded = len(m.ResetReasons)
 	if len(m.ResetReasons) > 0 {
 		o.Reason = m.ResetReasons[0].Kind.String()
 	}

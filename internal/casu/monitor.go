@@ -148,6 +148,15 @@ func (m *Monitor) Violation() *Violation { return m.violation }
 // Clear re-arms the monitor after a device reset.
 func (m *Monitor) Clear() { m.violation = nil; m.curPC = 0 }
 
+// PowerOn returns the monitor to its freshly constructed state: armed,
+// no secure-state history, trip counters zeroed. Clear survives device
+// resets (Trips is "since construction"); PowerOn models the machine
+// being power-cycled, which is what fleet recycling simulates.
+func (m *Monitor) PowerOn() {
+	m.Clear()
+	m.Trips = map[ViolationKind]int{}
+}
+
 // InSecure reports whether the monitor last saw the PC inside the secure
 // ROM (the hardware "secure state" flag).
 func (m *Monitor) InSecure() bool { return m.cfg.Layout.InSecureROM(m.curPC) }

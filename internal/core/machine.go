@@ -52,8 +52,17 @@ type Machine struct {
 
 	// ResetCount counts hardware-triggered resets (violations).
 	ResetCount int
-	// ResetReasons records the violation behind each reset.
+	// ResetReasons records the violations behind the first
+	// MaxResetReasons resets since power-on; ResetCount keeps the total,
+	// so a reset-storm attack cannot grow the machine without bound.
 	ResetReasons []casu.Violation
+	// lastReason is the most recent violation, tracked separately so
+	// RunResult.LastReason stays truthful once ResetReasons is full.
+	lastReason casu.Violation
+
+	// snap is the sealed memory image Recycle restores; nil until
+	// Snapshot is called.
+	snap *mem.Snapshot
 
 	// EagerTicks forces per-instruction peripheral ticking (the
 	// reference semantics) instead of deadline-batched ticking in
@@ -305,18 +314,85 @@ func (m *Machine) ForceSlowPaths() {
 	m.SetBlockExec(false)
 }
 
+// Snapshot seals the machine's current memory image as its recycle
+// point. Call it on a fully constructed machine — firmware loaded,
+// decode cache installed — so the image matches any installed cache:
+// Recycle restores exactly this image and asserts the cache is valid
+// against it without re-scanning anything.
+func (m *Machine) Snapshot() {
+	m.snap = m.Space.Snapshot()
+}
+
+// ErrNoSnapshot is returned by Recycle on a machine that was never
+// sealed with Snapshot.
+var ErrNoSnapshot = errors.New("core: machine has no sealed snapshot to recycle to")
+
+// Recycle returns the machine to the sealed snapshot state as if it had
+// been power-cycled and re-flashed with the snapshot image: memory is
+// restored by copy (no re-zeroing, no re-mapping), the CPU, interrupt
+// controller, violation latch and monitor return to power-on state, all
+// peripherals power on (keeping their attached sensor models), and the
+// predecode/block invalidation state is reset cheaply (generation bump
+// plus dirty-bitmap drop) without discarding the shared per-ROM decode
+// cache or block table. A recycled machine is observationally identical
+// to a freshly constructed one carrying the same image — the recycle
+// differential suites pin that, byte for byte, for every app × variant
+// × scenario.
+func (m *Machine) Recycle() error {
+	if m.snap == nil {
+		return ErrNoSnapshot
+	}
+	if err := m.Space.Restore(m.snap); err != nil {
+		return err
+	}
+	// Restore bypasses the WriteHook by contract: the restored bytes are
+	// the image the installed cache was built from, so staleness resets
+	// wholesale instead of word by word.
+	m.CPU.ResetCodeState()
+	m.CPU.PowerOn()
+	m.IRQ.Reset()
+	m.Latch.Reset()
+	if m.Monitor != nil {
+		m.Monitor.PowerOn()
+	}
+	m.ResetCount = 0
+	m.ResetReasons = nil
+	m.lastReason = casu.Violation{}
+	m.ctl.halted = false
+	m.ctl.code = 0
+	m.Port1.PowerOn()
+	m.Port2.PowerOn()
+	m.TimerA.PowerOn()
+	m.ADC.PowerOn()
+	m.UART.PowerOn()
+	m.LCD.PowerOn()
+	m.Ranger.PowerOn()
+	m.resyncPeriph()
+	return nil
+}
+
 // Halted reports whether firmware wrote the simulation-control register.
 func (m *Machine) Halted() bool { return m.ctl.halted }
 
 // ExitCode returns the value written to the simulation-control register.
 func (m *Machine) ExitCode() uint16 { return m.ctl.code }
 
+// MaxResetReasons bounds how many per-reset violation records a machine
+// retains. ResetCount still counts every reset; only the first
+// MaxResetReasons reasons (plus the most recent one, for
+// RunResult.LastReason) are kept, so a reset storm runs in constant
+// memory at fleet scale.
+const MaxResetReasons = 8
+
 // deviceReset is the hardware response to a monitor violation: volatile
 // memory cleared, CPU rebooted, peripherals' interrupt state dropped.
 // Program memory and the secure ROM survive (they are immutable anyway).
 func (m *Machine) deviceReset(v casu.Violation) {
 	m.ResetCount++
-	m.ResetReasons = append(m.ResetReasons, v)
+	m.lastReason = v
+	if len(m.ResetReasons) < MaxResetReasons {
+		m.ResetReasons = append(m.ResetReasons, v)
+	}
 	m.Space.Reset()
 	m.Boot()
 }
@@ -490,8 +566,8 @@ func (m *Machine) result(c0, i0 uint64, r0 int) RunResult {
 		ExitCode: m.ctl.code,
 		Resets:   m.ResetCount - r0,
 	}
-	if len(m.ResetReasons) > 0 && res.Resets > 0 {
-		v := m.ResetReasons[len(m.ResetReasons)-1]
+	if m.ResetCount > 0 && res.Resets > 0 {
+		v := m.lastReason
 		res.LastReason = &v
 	}
 	return res

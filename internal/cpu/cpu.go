@@ -195,8 +195,17 @@ func (c *CPU) SetBlocks(b *isa.Blocks) {
 // the two preceding word slots are staled along with the written range.
 // It is safe (and cheap) to call for every bus write; mem.Space's
 // WriteHook is wired to it by core.Machine.
+//
+// Writes that land entirely below the cached window are a no-op: cached
+// entries exist only at pc >= the cache start, and no entry's fetch
+// window reaches further back than four bytes before it, so ordinary
+// DMEM stores — and the volatile-memory sweep a device reset performs —
+// never touch the dirty bitmap or the block invalidation generation.
 func (c *CPU) InvalidateCode(addr uint16, n int) {
 	if c.pre == nil || n <= 0 {
+		return
+	}
+	if (int(addr)+n-1)>>1 < int(c.preStart)>>1 {
 		return
 	}
 	c.invGen++
@@ -209,6 +218,29 @@ func (c *CPU) InvalidateCode(addr uint16, n int) {
 		i := w & (dirtyWords - 1)
 		c.dirty[i>>6] |= 1 << (uint(i) & 63)
 	}
+}
+
+// ResetCodeState discards all recorded predecode staleness and block
+// invalidation state while keeping the installed (shared) decode cache
+// and block table. The caller asserts that memory once again matches
+// the cache exactly — the situation after mem.Space.Restore puts back
+// the very image the cache was built from. The generation bump makes
+// any stale in-flight block bookkeeping re-check rather than trust a
+// pre-reset snapshot.
+func (c *CPU) ResetCodeState() {
+	c.invGen++
+	c.dirty = nil
+	c.busTouched = false
+}
+
+// PowerOn returns the CPU to its freshly constructed state: registers
+// and the cycle/instruction/interrupt counters zeroed. Unlike Reset it
+// models a power cycle, not the architectural reset sequence — the
+// machine's Boot still performs that (and its 4-cycle latency) on top.
+func (c *CPU) PowerOn() {
+	c.R = [isa.NumRegs]uint16{}
+	c.Cycles, c.Insns, c.Interrupts = 0, 0, 0
+	c.prevPC = 0
 }
 
 // staleAt reports whether the predecoded entry at pc has been

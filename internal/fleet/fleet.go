@@ -59,6 +59,10 @@ type Spec struct {
 	Repeat int
 	// Workers sizes the pool (default: GOMAXPROCS; 1 = sequential).
 	Workers int
+	// NoRecycle makes every job construct a fresh machine instead of
+	// recycling a pooled one — the reference lifecycle the recycling
+	// differential tests compare against.
+	NoRecycle bool
 }
 
 // Job is one cell of the matrix.
@@ -75,16 +79,20 @@ type Job struct {
 // are byte-identical across worker counts and runs.
 type JobResult struct {
 	Job
-	Cycles      uint64 `json:"cycles"`
-	Insns       uint64 `json:"insns"`
-	Halted      bool   `json:"halted"`
-	ExitCode    uint16 `json:"exit_code"`
-	Resets      int    `json:"resets"`
-	Reason      string `json:"reason,omitempty"`
-	UART        string `json:"uart,omitempty"`
-	Compromised bool   `json:"compromised,omitempty"`
-	CheckOK     bool   `json:"check_ok"`
-	Err         string `json:"error,omitempty"`
+	Cycles   uint64 `json:"cycles"`
+	Insns    uint64 `json:"insns"`
+	Halted   bool   `json:"halted"`
+	ExitCode uint16 `json:"exit_code"`
+	Resets   int    `json:"resets"`
+	Reason   string `json:"reason,omitempty"`
+	// ReasonsRecorded is how many per-reset violation records the
+	// machine retained; under a reset storm it saturates at
+	// core.MaxResetReasons while Resets keeps the true total.
+	ReasonsRecorded int    `json:"reasons_recorded,omitempty"`
+	UART            string `json:"uart,omitempty"`
+	Compromised     bool   `json:"compromised,omitempty"`
+	CheckOK         bool   `json:"check_ok"`
+	Err             string `json:"error,omitempty"`
 }
 
 // artifact is the shared read-only build product for one firmware:
@@ -105,7 +113,8 @@ func (a *artifact) pre(v Variant) *isa.Predecoded {
 
 // Runner holds a prepared matrix: every firmware built, every decode
 // cache snapshotted, every job enumerated. Run may be called multiple
-// times; the artifacts are reused.
+// times; the artifacts — and, when recycling, the pooled machines —
+// are reused.
 type Runner struct {
 	p         *core.Pipeline
 	apps      []apps.App
@@ -113,6 +122,15 @@ type Runner struct {
 	artifacts map[string]*artifact // keyed by kind/name
 	jobs      []Job
 	workers   int
+
+	// recycle keeps one fully constructed machine per worker per matrix
+	// cell and recycles it between jobs instead of paying NewMachine +
+	// firmware load per job. machines[w] is owned by worker w (a single
+	// goroutine at a time), so access is lock-free; machine state never
+	// leaks between jobs because Recycle restores the sealed snapshot —
+	// the recycle differential suites pin byte-identical JobResults.
+	recycle  bool
+	machines []map[string]*core.Machine // per worker: kind/name/variant → machine
 }
 
 // NewRunner builds all artifacts for the matrix selected by spec
@@ -123,6 +141,8 @@ func NewRunner(p *core.Pipeline, spec Spec) (*Runner, error) {
 	if r.workers <= 0 {
 		r.workers = runtime.GOMAXPROCS(0)
 	}
+	r.recycle = !spec.NoRecycle
+	r.machines = make([]map[string]*core.Machine, r.workers)
 	variants := spec.Variants
 	if variants == nil {
 		variants = Variants()
@@ -244,7 +264,7 @@ func (r *Runner) Workers() int { return r.workers }
 // aborting the fleet: one wild scenario must not sink the batch.
 func (r *Runner) Run() (*Report, error) {
 	start := time.Now()
-	results := pool.Do(len(r.jobs), r.workers, r.runJob)
+	results := pool.DoIndexed(len(r.jobs), r.workers, r.runJob)
 	return aggregate(results, r.workers, time.Since(start)), nil
 }
 
@@ -252,7 +272,7 @@ func (r *Runner) Run() (*Report, error) {
 // ordering for determinism checks.
 func (r *Runner) RunSequential() (*Report, error) {
 	start := time.Now()
-	results := pool.Do(len(r.jobs), 1, r.runJob)
+	results := pool.DoIndexed(len(r.jobs), 1, r.runJob)
 	return aggregate(results, 1, time.Since(start)), nil
 }
 
@@ -265,7 +285,7 @@ func (r *Runner) RunSequential() (*Report, error) {
 func (r *Runner) RunStream(emit func(JobResult)) (*Report, error) {
 	start := time.Now()
 	rep := &Report{Workers: r.workers}
-	pool.Stream(len(r.jobs), r.workers, r.runJob, func(_ int, jr JobResult) {
+	pool.StreamIndexed(len(r.jobs), r.workers, r.runJob, func(_ int, jr JobResult) {
 		rep.add(jr)
 		if emit != nil {
 			emit(jr)
@@ -274,14 +294,61 @@ func (r *Runner) RunStream(emit func(JobResult)) (*Report, error) {
 	return rep.finish(time.Since(start)), nil
 }
 
-func (r *Runner) runJob(i int) JobResult {
+func (r *Runner) runJob(worker, i int) JobResult {
 	job := r.jobs[i]
 	switch job.Kind {
 	case "app":
-		return r.runAppJob(job)
+		return r.runAppJob(worker, job)
 	default:
-		return r.runAttackJob(job)
+		return r.runAttackJob(worker, job)
 	}
+}
+
+// newMachine constructs a fresh, fully loaded machine for one matrix
+// cell — variant options, firmware image, shared per-ROM decode cache —
+// through the same attacks.Target.NewMachine sequence the standalone
+// scenario path uses, so pooled and one-shot machines cannot diverge.
+func (r *Runner) newMachine(a *artifact, v Variant) (*core.Machine, error) {
+	t := attacks.Target{Config: r.p.Config(), Image: a.build.Original.Image}
+	if v == VariantProtected {
+		t.ROM = r.p.ROM()
+		t.Protected = true
+		t.Image = a.build.Instrumented.Image
+	}
+	t.Predecoded = a.pre(v)
+	return t.NewMachine()
+}
+
+// machineFor hands the worker a machine for the cell: the worker's
+// pooled one, recycled back to its sealed snapshot, or — on the cell's
+// first job on this worker, or with recycling off — a fresh build.
+func (r *Runner) machineFor(worker int, job Job) (*core.Machine, error) {
+	a := r.artifacts[job.Kind+"/"+job.Name]
+	if a == nil {
+		return nil, fmt.Errorf("fleet: no artifact for %s/%s", job.Kind, job.Name)
+	}
+	if !r.recycle {
+		return r.newMachine(a, job.Variant)
+	}
+	key := job.Kind + "/" + job.Name + "/" + string(job.Variant)
+	cache := r.machines[worker]
+	if cache == nil {
+		cache = map[string]*core.Machine{}
+		r.machines[worker] = cache
+	}
+	if m, ok := cache[key]; ok {
+		if err := m.Recycle(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	m, err := r.newMachine(a, job.Variant)
+	if err != nil {
+		return nil, err
+	}
+	m.Snapshot()
+	cache[key] = m
+	return m, nil
 }
 
 // ExecuteApp runs one application build variant on a fresh machine and
@@ -312,6 +379,13 @@ func ExecuteApp(p *core.Pipeline, app apps.App, build *core.BuildResult, protect
 	} else {
 		m.EnablePredecode()
 	}
+	return ExecuteAppOn(m, app)
+}
+
+// ExecuteAppOn runs one application on a prepared machine — fresh from
+// construction + firmware load, or recycled by the fleet's machine pool
+// — feeding UART input, booting and running to the app's cycle budget.
+func ExecuteAppOn(m *core.Machine, app apps.App) (*apps.Inspection, string, error) {
 	if app.UARTInput != "" {
 		m.UART.Feed([]byte(app.UARTInput))
 	}
@@ -325,17 +399,19 @@ func ExecuteApp(p *core.Pipeline, app apps.App, build *core.BuildResult, protect
 	return insp, reason, runErr
 }
 
-func (r *Runner) runAppJob(job Job) JobResult {
+func (r *Runner) runAppJob(worker int, job Job) JobResult {
 	res := JobResult{Job: job}
 	app, ok := apps.ByName(job.Name)
 	if !ok {
 		res.Err = fmt.Sprintf("unknown app %q", job.Name)
 		return res
 	}
-	a := r.artifacts["app/"+job.Name]
-	protected := job.Variant == VariantProtected
-
-	insp, reason, err := ExecuteApp(r.p, app, a.build, protected, a.pre(job.Variant))
+	m, err := r.machineFor(worker, job)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	insp, reason, err := ExecuteAppOn(m, app)
 	if err != nil {
 		res.Err = err.Error()
 	}
@@ -347,6 +423,7 @@ func (r *Runner) runAppJob(job Job) JobResult {
 	res.Halted = insp.Halted
 	res.ExitCode = insp.ExitCode
 	res.Resets = insp.Resets
+	res.ReasonsRecorded = insp.ReasonsRecorded
 	res.UART = insp.UART
 	res.Reason = reason
 	if err == nil {
@@ -359,7 +436,7 @@ func (r *Runner) runAppJob(job Job) JobResult {
 	return res
 }
 
-func (r *Runner) runAttackJob(job Job) JobResult {
+func (r *Runner) runAttackJob(worker int, job Job) JobResult {
 	res := JobResult{Job: job}
 	var sc attacks.Scenario
 	found := false
@@ -381,7 +458,12 @@ func (r *Runner) runAttackJob(job Job) JobResult {
 	}
 	t.Predecoded = a.pre(job.Variant)
 
-	o, err := attacks.Execute(t, sc)
+	m, err := r.machineFor(worker, job)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	o, err := attacks.ExecuteOn(m, t, sc)
 	if err != nil {
 		res.Err = err.Error()
 		return res
@@ -391,6 +473,7 @@ func (r *Runner) runAttackJob(job Job) JobResult {
 	res.Halted = o.Halted
 	res.ExitCode = o.ExitCode
 	res.Resets = o.Resets
+	res.ReasonsRecorded = o.ReasonsRecorded
 	res.Reason = o.Reason
 	res.UART = o.UART
 	res.Compromised = o.Compromised

@@ -13,11 +13,20 @@ import "sync"
 // workers <= 1 the jobs run sequentially on the calling goroutine,
 // which is the reference ordering the concurrent path must match.
 func Do[T any](n, workers int, fn func(i int) T) []T {
+	return DoIndexed(n, workers, func(_, i int) T { return fn(i) })
+}
+
+// DoIndexed is Do with the worker's identity passed to fn: worker is in
+// [0, workers) and each worker runs its jobs one at a time on a single
+// goroutine, so per-worker state — the fleet runner's recycled-machine
+// pools — needs no locking. Which worker runs which job is
+// scheduling-dependent; fn must produce identical results regardless.
+func DoIndexed[T any](n, workers int, fn func(worker, job int) T) []T {
 	if n <= 0 {
 		return nil
 	}
 	out := make([]T, n)
-	Stream(n, workers, fn, func(i int, v T) { out[i] = v })
+	StreamIndexed(n, workers, fn, func(i int, v T) { out[i] = v })
 	return out
 }
 
@@ -30,6 +39,12 @@ func Do[T any](n, workers int, fn func(i int) T) []T {
 // pathologically slow, an n-job matrix streams in O(workers) memory.
 // emit must not call back into the pool.
 func Stream[T any](n, workers int, fn func(i int) T, emit func(i int, v T)) {
+	StreamIndexed(n, workers, func(_, i int) T { return fn(i) }, emit)
+}
+
+// StreamIndexed is Stream with the worker's identity passed to fn (see
+// DoIndexed). With workers <= 1 every job runs as worker 0.
+func StreamIndexed[T any](n, workers int, fn func(worker, job int) T, emit func(i int, v T)) {
 	if n <= 0 {
 		return
 	}
@@ -38,7 +53,7 @@ func Stream[T any](n, workers int, fn func(i int) T, emit func(i int, v T)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			emit(i, fn(i))
+			emit(i, fn(0, i))
 		}
 		return
 	}
@@ -57,10 +72,11 @@ func Stream[T any](n, workers int, fn func(i int) T, emit func(i int, v T)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		w := w
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				done <- res{i, fn(i)}
+				done <- res{i, fn(w, i)}
 			}
 		}()
 	}

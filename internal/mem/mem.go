@@ -451,18 +451,56 @@ func (s *Space) ReadRaw(addr uint16, length int) []byte {
 
 // Reset clears volatile memory (DMEM and secure DMEM) while preserving
 // program memory, secure ROM and the IVT — the behaviour of a device
-// reset as opposed to a reflash.
+// reset as opposed to a reflash. This path runs on every monitor
+// violation, so the volatile regions are cleared as whole slab ranges
+// rather than byte-at-a-time; the WriteHook invalidation spans are
+// unchanged.
 func (s *Space) Reset() {
-	for a := int(s.Layout.DMEMStart); a <= int(s.Layout.DMEMEnd); a++ {
-		s.ram[a] = 0
-	}
-	for a := int(s.Layout.SecureDataStart); a <= int(s.Layout.SecureDataEnd); a++ {
-		s.ram[a] = 0
-	}
+	clear(s.ram[s.Layout.DMEMStart : int(s.Layout.DMEMEnd)+1])
+	clear(s.ram[s.Layout.SecureDataStart : int(s.Layout.SecureDataEnd)+1])
 	if s.WriteHook != nil {
 		s.WriteHook(s.Layout.DMEMStart, int(s.Layout.DMEMEnd)-int(s.Layout.DMEMStart)+1)
 		s.WriteHook(s.Layout.SecureDataStart, int(s.Layout.SecureDataEnd)-int(s.Layout.SecureDataStart)+1)
 	}
+}
+
+// Snapshot is an immutable copy of a Space's restorable state: the full
+// backing slab plus the bus-error count at capture time. The dispatch
+// state (layout, peripheral mappings, per-address tables) is not
+// captured — it is construction-time state that Restore requires to be
+// unchanged, which is what makes Restore a pair of copies instead of a
+// re-zero and re-map.
+type Snapshot struct {
+	layout    Layout
+	ram       [Size]byte
+	busErrors int
+}
+
+// Snapshot captures the Space's current memory image and bus-error
+// count. The fleet seals one per fully-constructed machine (post
+// firmware load) so later jobs restore it instead of rebuilding.
+func (s *Space) Snapshot() *Snapshot {
+	return &Snapshot{layout: s.Layout, ram: s.ram, busErrors: s.BusErrors}
+}
+
+// Restore copies a snapshot back over the backing slab and bus-error
+// count, leaving the peripheral mappings and dispatch tables (which the
+// snapshot asserts are unchanged — it must come from a Space with the
+// same layout) in place. Restore does NOT report the slab mutation
+// through WriteHook: the restored bytes are, by construction, the exact
+// image any installed decode cache was built from, so the caller resets
+// cache staleness wholesale instead (core.Machine.Recycle pairs Restore
+// with cpu.CPU.ResetCodeState).
+func (s *Space) Restore(snap *Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("mem: restore from nil snapshot")
+	}
+	if snap.layout != s.Layout {
+		return fmt.Errorf("mem: snapshot layout does not match this space")
+	}
+	s.ram = snap.ram
+	s.BusErrors = snap.busErrors
+	return nil
 }
 
 // VectorAddress returns the IVT slot address for interrupt line n

@@ -1,0 +1,73 @@
+package mem
+
+import "testing"
+
+// TestSnapshotRestoreRoundTrip pins the recycling contract: Restore
+// returns the slab and the bus-error count to exactly the sealed state,
+// leaving peripheral mappings in place and firing no WriteHook (the
+// restored bytes are the image any decode cache was built from; the
+// machine resets cache staleness wholesale instead).
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := MustNewSpace(DefaultLayout())
+	h := &stubHandler{}
+	if err := s.Map(0x0100, 0x010F, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadImage(0xE000, []byte{0x11, 0x22, 0x33, 0x44}); err != nil {
+		t.Fatal(err)
+	}
+	s.StoreWord(0x0200, 0xBEEF)
+	s.LoadWord(0x0C00) // unmapped: one bus error into the snapshot
+	snap := s.Snapshot()
+
+	var hooked int
+	s.WriteHook = func(addr uint16, n int) { hooked++ }
+	s.StoreWord(0x0200, 0x0000)
+	s.StoreWord(0xE000, 0x5555)
+	s.Reset()
+	s.LoadWord(0x0C00)
+	s.LoadWord(0x0C02)
+	preHooks := hooked
+
+	if err := s.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if hooked != preHooks {
+		t.Errorf("Restore fired the WriteHook %d times, want 0", hooked-preHooks)
+	}
+	if got := s.LoadWord(0x0200); got != 0xBEEF {
+		t.Errorf("DMEM after restore = 0x%04x, want 0xBEEF", got)
+	}
+	if got := s.PeekWord(0xE000); got != 0x2211 {
+		t.Errorf("PMEM after restore = 0x%04x, want 0x2211", got)
+	}
+	if s.BusErrors != 1 {
+		t.Errorf("BusErrors after restore = %d, want the sealed 1", s.BusErrors)
+	}
+	// The mapping survives untouched: handler dispatch still works.
+	s.StoreWord(0x0100, 7)
+	if h.stores != 1 {
+		t.Errorf("peripheral mapping lost across restore: %d stores", h.stores)
+	}
+}
+
+// TestSnapshotRestoreRejectsMismatch pins the guard rails: nil
+// snapshots and layout mismatches are errors, not silent corruption.
+func TestSnapshotRestoreRejectsMismatch(t *testing.T) {
+	s := MustNewSpace(DefaultLayout())
+	if err := s.Restore(nil); err == nil {
+		t.Error("Restore(nil) succeeded")
+	}
+	other := DefaultLayout()
+	other.DMEMEnd = 0x08FF
+	snap := MustNewSpace(other).Snapshot()
+	if err := s.Restore(snap); err == nil {
+		t.Error("Restore accepted a snapshot from a different layout")
+	}
+}
+
+// stubHandler counts stores for the mapping-survival assertion.
+type stubHandler struct{ stores int }
+
+func (h *stubHandler) LoadWord(addr uint16) uint16     { return 0 }
+func (h *stubHandler) StoreWord(addr uint16, v uint16) { h.stores++ }

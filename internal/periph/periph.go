@@ -154,6 +154,13 @@ func NewGPIO(base uint16, irq *IRQController, line int) *GPIO {
 	return &GPIO{Base: base, IRQ: irq, Line: line, Clock: func() uint64 { return 0 }}
 }
 
+// PowerOn returns the port to its freshly constructed state: registers
+// zeroed, output-event history dropped.
+func (g *GPIO) PowerOn() {
+	g.In, g.Out, g.Dir, g.IFG, g.IE = 0, 0, 0, 0, 0
+	g.Events = nil
+}
+
 // SetInput drives the port's input pins from the outside world, latching
 // edge interrupts for newly risen bits that are enabled.
 func (g *GPIO) SetInput(v uint8) {
@@ -248,6 +255,14 @@ type Timer struct {
 // NewTimer creates a timer with registers at base.
 func NewTimer(base uint16, irq *IRQController, line int) *Timer {
 	return &Timer{Base: base, IRQ: irq, Line: line}
+}
+
+// PowerOn returns the timer to its freshly constructed state: registers
+// and the wrap count zeroed, sync anchor back at cycle 0.
+func (t *Timer) PowerOn() {
+	t.CTL, t.TAR, t.CCR0 = 0, 0, 0
+	t.Wraps = 0
+	t.synced = 0
 }
 
 // Tick advances the timer by CPU cycles. The wrap count, IFG latching
@@ -398,6 +413,19 @@ func (a *ADC) Attach(channel uint8, m SensorModel) {
 	a.channels[channel] = m
 }
 
+// PowerOn returns the converter to its freshly constructed state —
+// registers cleared, no conversion in flight, per-channel sample
+// indices rewound — while keeping the attached sensor models (they are
+// wiring, not run-time state).
+func (a *ADC) PowerOn() {
+	a.CTL, a.MEM = 0, 0
+	a.done = false
+	a.busyFor = 0
+	a.active = 0
+	clear(a.counts)
+	a.synced = 0
+}
+
 // SyncTo implements Cycled.
 func (a *ADC) SyncTo(cycle uint64) {
 	if cycle > a.synced {
@@ -507,6 +535,13 @@ func NewUART(irq *IRQController, line int) *UART {
 	return &UART{IRQ: irq, Line: line}
 }
 
+// PowerOn returns the port to its freshly constructed state: both the
+// transmit transcript and any unconsumed receive bytes are dropped.
+func (u *UART) PowerOn() {
+	u.TX = nil
+	u.rx = nil
+}
+
 // Feed queues bytes on the receive side and raises the RX interrupt.
 func (u *UART) Feed(data []byte) {
 	u.rx = append(u.rx, data...)
@@ -590,6 +625,13 @@ func (l *LCD) clear() {
 		}
 	}
 	l.addr = 0
+}
+
+// PowerOn returns the display to its freshly constructed state: screen
+// cleared, cursor home, command history dropped.
+func (l *LCD) PowerOn() {
+	l.clear()
+	l.Commands = nil
 }
 
 // Row returns the text of row r.
@@ -680,6 +722,17 @@ func (u *Ultrasonic) lazySync() {
 // NewUltrasonic creates a ranger with a fixed 25 cm target.
 func NewUltrasonic(irq *IRQController, line int) *Ultrasonic {
 	return &Ultrasonic{IRQ: irq, Line: line, Distance: func(int) uint16 { return 25 }}
+}
+
+// PowerOn returns the ranger to its freshly constructed state — no
+// measurement in flight, ping index rewound — while keeping the
+// attached distance model.
+func (u *Ultrasonic) PowerOn() {
+	u.width = 0
+	u.done = false
+	u.busyFor = 0
+	u.pings = 0
+	u.synced = 0
 }
 
 // echo width: ~58 µs per cm (HC-SR04 datasheet figure).
