@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-differential bench-smoke bench bench-json check
+.PHONY: all build vet test test-differential fuzz-smoke bench-smoke bench bench-json check
 
 all: check
 
@@ -18,11 +18,20 @@ test:
 # the hot-path optimizations and the machine-recycling subsystem; this
 # target fails if any of them is skipped or matches nothing.
 test-differential:
-	@out=$$($(GO) test -v -run 'TestDispatchDifferential|TestFastSlow|TestBlock|TestTickEquivalence|TestTimerTickClosedForm|TestRecycle' \
+	@out=$$($(GO) test -v -run 'TestDispatchDifferential|TestFastSlow|TestBlock|TestTickEquivalence|TestTimerTickClosedForm|TestRecycle|TestGenerated' \
 		./internal/mem ./internal/core ./internal/periph ./internal/fleet) || { echo "$$out"; exit 1; }; \
 	echo "$$out" | grep -q -- '--- PASS' || { echo 'no differential tests ran'; exit 1; }; \
 	if echo "$$out" | grep -q -- '--- SKIP'; then echo "$$out" | grep -- '--- SKIP'; echo 'differential tests were skipped'; exit 1; fi; \
 	echo "differential suites: $$(echo "$$out" | grep -c -- '--- PASS') passes, no skips"
+
+# A few seconds of coverage-guided fuzzing per native target: the
+# assembler must never panic on arbitrary source, and no UART input may
+# compromise the protected overflow victim. The committed seed corpora
+# under */testdata/fuzz/ anchor the search; real finds land there as
+# regression inputs.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzAssemble$$' -fuzztime=5s ./internal/asm
+	$(GO) test -run='^$$' -fuzz='^FuzzUARTPayload$$' -fuzztime=5s ./internal/attacks
 
 # One-iteration benchmark pass so throughput regressions surface in PRs
 # without burning CI minutes. NoBlocks rides along so the block layer's

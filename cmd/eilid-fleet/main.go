@@ -7,7 +7,13 @@
 // Usage:
 //
 //	eilid-fleet [-workers N] [-repeat N] [-apps a,b] [-scenarios x,y]
-//	            [-json out.ndjson] [-verify] [-q]
+//	            [-gen N] [-seed S] [-json out.ndjson] [-verify] [-q]
+//
+// -gen N adds a third matrix dimension of N seed-derived attack
+// variants (internal/scenario) generated from -seed, each run against
+// both device variants. Generation depends only on (seed, index), so
+// the per-job NDJSON lines are byte-identical across runs and worker
+// counts, and any record is reproducible from its seed and index.
 //
 // -json streams NDJSON: one JSON line per job, written and flushed as
 // the job completes (in job order), followed by one summary line with
@@ -63,6 +69,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	scenariosFlag := fs.String("scenarios", "", "comma-separated scenario subset (default: all)")
 	noApps := fs.Bool("no-apps", false, "skip the application dimension")
 	noScenarios := fs.Bool("no-scenarios", false, "skip the attack dimension")
+	gen := fs.Int("gen", 0, "number of generated attack variants to add (0 = none)")
+	seed := fs.Uint64("seed", 1, "seed for the generated dimension")
 	jsonOut := fs.String("json", "", "stream the results as NDJSON (one line per job + a summary line) to this file (- for stdout)")
 	verify := fs.Bool("verify", false, "replay sequentially and require byte-identical results")
 	recycle := fs.Bool("recycle", true, "recycle pooled machines between jobs (false = construct per job)")
@@ -87,6 +95,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Repeat:      *repeat,
 		Workers:     *workers,
 		NoRecycle:   !*recycle,
+		Generated:   fleet.GeneratedSpec{Seed: *seed, Count: *gen},
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)

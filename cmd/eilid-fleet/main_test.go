@@ -126,6 +126,60 @@ func TestFleetJSONStreamsDeterministically(t *testing.T) {
 	}
 }
 
+// TestFleetGeneratedDimension drives the CLI's -gen/-seed path: a
+// fixed-seed generated-only batch exits clean, reports the dimension's
+// diagnostics, and streams per-job NDJSON lines that are byte-identical
+// across worker counts (the summary line differs only by its workers
+// and wall-clock fields, so the comparison stops before it).
+func TestFleetGeneratedDimension(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(name, workers string) ([]map[string]any, map[string]any, string) {
+		t.Helper()
+		path := dir + "/" + name
+		var out, errb strings.Builder
+		code := run([]string{
+			"-no-apps", "-no-scenarios", "-gen", "24", "-seed", "9",
+			"-workers", workers, "-q", "-json", path,
+		}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr: %s\n%s", code, errb.String(), out.String())
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs, summary := parseNDJSON(t, raw)
+		lines := strings.SplitAfter(string(raw), "\n")
+		return jobs, summary, strings.Join(lines[:len(jobs)], "")
+	}
+
+	jobs1, sum1, raw1 := runOnce("w1.ndjson", "1")
+	_, _, raw6 := runOnce("w6.ndjson", "6")
+	if raw1 != raw6 {
+		t.Error("generated job lines differ between -workers 1 and -workers 6")
+	}
+	if len(jobs1) != 48 {
+		t.Fatalf("got %d job lines, want 48 (24 scenarios x 2 variants)", len(jobs1))
+	}
+	if sum1["gen_protected"].(float64) != 24 || sum1["gen_baseline"].(float64) != 24 {
+		t.Fatalf("summary missing generated diagnostics: %+v", sum1)
+	}
+	if v, ok := sum1["gen_protected_compromised"]; ok {
+		t.Fatalf("protected compromises in summary: %v", v)
+	}
+	for _, j := range jobs1 {
+		if j["kind"] != "gen" {
+			t.Fatalf("non-generated job in generated-only matrix: %+v", j)
+		}
+		if f, ok := j["family"].(string); !ok || f == "" {
+			t.Fatalf("generated job missing family: %+v", j)
+		}
+		if v, ok := j["victim"].(string); !ok || v == "" {
+			t.Fatalf("generated job missing victim: %+v", j)
+		}
+	}
+}
+
 func TestFleetFlagErrors(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"-apps", "NoSuchApp"}, &out, &errb); code != 2 {

@@ -1,0 +1,47 @@
+package asm
+
+import (
+	"testing"
+)
+
+// FuzzAssemble is the assembler's robustness contract: arbitrary source
+// text may be rejected with a diagnostic, but must never panic the
+// two-pass assembler, and an accepted program must come back whole
+// (image, listing and symbol table). The committed seed corpus
+// (testdata/fuzz/FuzzAssemble) walks every statement kind, the
+// directive set, the expression grammar and a few known-tricky shapes
+// (forward references, `$` arithmetic, emulated mnemonics, string
+// escapes).
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"\n\n; comment only\n",
+		".org 0xE000\nreset:\n    mov #0x1234, r15\n    jmp reset\n.org 0xFFFE\n.word reset\n",
+		".equ FOO, 0x0200\n.org 0xE000\nmain:\n    mov &FOO, r12\n    add #2, r12\n    ret\n",
+		".org 0xE000\nstart:\n    call #fwd\nspin:\n    jmp spin\nfwd:\n    mov.b @r14+, 2(r13)\n    reti\n",
+		".org 0xE000\n.word $+2, start\nstart:\n    push r11\n    pop r11\n    br #start\n",
+		".org 0xE000\n.byte 1, 2, 0x41\n.ascii \"hi\\n\"\n.asciz \"z\"\n.align 2\n.space 4\n",
+		"label-with-dash:\n    mov #1, r4\n",
+		".org 0xFFFF\n.word 0xFFFF\n",
+		"    tst r11\n    jz done\n    inc r11\ndone:\n    ret\n",
+		".equ A, B\n.equ B, 1\n.word A\n",
+		"    mov @r5, 0xFFFF(r6)\n    swpb r7\n    sxt r8\n    dadd r9, r10\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz.s", src)
+		if err != nil {
+			// Any rejection is acceptable, as long as the diagnostic
+			// says something.
+			if err.Error() == "" {
+				t.Fatal("empty diagnostic")
+			}
+			return
+		}
+		if p == nil || p.Image == nil || p.Listing == nil || p.Symbols == nil {
+			t.Fatalf("accepted program is incomplete: %+v", p)
+		}
+	})
+}

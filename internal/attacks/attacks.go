@@ -53,6 +53,16 @@ type Scenario struct {
 	// WantReason is the expected reset-cause substring on the protected
 	// device (e.g. "cfi-check-failed", "exec-from-nonexec").
 	WantReason string
+	// Budget overrides the suite's per-run cycle budget when non-zero.
+	// Generated scenarios (internal/scenario) use small budgets so a
+	// fuzzed input that wedges the victim in a polling loop stays cheap
+	// at fleet scale.
+	Budget uint64
+	// RunThroughResets keeps the protected device running through
+	// monitor resets (Machine.Run instead of Machine.RunUntilReset)
+	// until halt or budget exhaustion, making reset storms observable
+	// as an Outcome.Resets count instead of stopping at the first one.
+	RunThroughResets bool
 }
 
 // Outcome describes one machine's fate under a scenario.
@@ -105,6 +115,14 @@ type Target struct {
 	// core.Machine.EnablePredecode) from a machine loaded with this
 	// exact Image (and ROM, when protected).
 	Predecoded *isa.Predecoded
+}
+
+// Symbol resolves a name in the target's symbol table (the baseline and
+// protected builds lay code out differently, so adversarial addresses
+// must always come from the table of the build under attack).
+func (t Target) Symbol(name string) (uint16, bool) {
+	v, ok := t.Symbols[name]
+	return v, ok
 }
 
 // TargetsFor derives the baseline and protected targets from a build.
@@ -213,10 +231,14 @@ func ExecuteOn(m *core.Machine, t Target, sc Scenario) (Outcome, error) {
 	// outright on wild control flow — e.g. executing data that does not
 	// decode) are outcomes, not harness failures: a crash is not a
 	// compromise, but not a defended result either. Record what we know.
-	if protected {
-		_, _ = m.RunUntilReset(budget)
+	limit := sc.Budget
+	if limit == 0 {
+		limit = budget
+	}
+	if protected && !sc.RunThroughResets {
+		_, _ = m.RunUntilReset(limit)
 	} else {
-		_, _ = m.Run(budget)
+		_, _ = m.Run(limit)
 	}
 	return outcomeOf(m), nil
 }

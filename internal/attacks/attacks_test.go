@@ -84,7 +84,7 @@ func TestScenariosHaveMetadata(t *testing.T) {
 }
 
 func TestShellcodeIsValid(t *testing.T) {
-	sc := shellcode()
+	sc := Shellcode()
 	if len(sc) < 4 || len(sc)%2 != 0 {
 		t.Fatalf("shellcode = % x", sc)
 	}

@@ -1,0 +1,48 @@
+package attacks
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScenarioConformance is the handcrafted suite's declarative
+// contract, stated table-driven over Scenarios(): every scenario's
+// protected run must reset for (a reason containing) its declared
+// WantReason without ever being compromised, and the suite as a whole
+// must keep at least one scenario on each of the paper's properties
+// (P1/P2/P3) and each CASU-layer rule (W^X, SecureData). The generated
+// families in internal/scenario mutate these exemplars, so a scenario
+// drifting from its declared reason would silently skew thousands of
+// generated oracles — this test pins the anchor points.
+func TestScenarioConformance(t *testing.T) {
+	p := pipeline(t)
+	covered := map[string][]string{}
+	for _, sc := range Scenarios() {
+		sc := sc
+		covered[sc.Property] = append(covered[sc.Property], sc.Name)
+		t.Run(sc.Name, func(t *testing.T) {
+			r, err := Run(p, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Protected.Compromised {
+				t.Errorf("protected device compromised")
+			}
+			if r.Protected.Resets == 0 {
+				t.Fatalf("protected device never reset; outcome %+v", r.Protected)
+			}
+			if !strings.Contains(r.Protected.Reason, sc.WantReason) {
+				t.Errorf("protected reset reason %q does not contain declared WantReason %q",
+					r.Protected.Reason, sc.WantReason)
+			}
+		})
+	}
+	for _, prop := range []string{"P1", "P2", "P3", "W^X", "SecureData"} {
+		if len(covered[prop]) == 0 {
+			t.Errorf("no scenario covers property %s", prop)
+		}
+	}
+	for prop, names := range covered {
+		t.Logf("%s: %v", prop, names)
+	}
+}

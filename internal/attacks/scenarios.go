@@ -1,13 +1,15 @@
 package attacks
 
 import (
+	"fmt"
+
 	"eilid/internal/core"
 	"eilid/internal/isa"
 )
 
-// victim firmware shared by the P1 scenarios: a message receiver with a
-// classic unchecked-length stack-buffer overflow.
-const overflowVictim = `
+// overflowVictimTmpl is the P1 victim parameterized by stack-buffer
+// size; see OverflowVictimSource.
+const overflowVictimTmpl = `
 .equ USTAT,  0x0074
 .equ URX,    0x0072
 .equ SIMCTL, 0x00FC
@@ -21,11 +23,11 @@ main:
 stop:
     jmp stop
 
-; reads a length byte, then that many bytes into a FOUR byte stack
+; reads a length byte, then that many bytes into a %d byte stack
 ; buffer: the attacker-controlled length walks over the saved return
 ; address.
 recv_msg:
-    sub #4, sp
+    sub #%d, sp
     mov sp, r14
     call #read_char
     mov r12, r11
@@ -38,7 +40,7 @@ rm_copy:
     dec r11
     jmp rm_copy
 rm_done:
-    add #4, sp
+    add #%d, sp
     ret
 
 read_char:
@@ -64,6 +66,40 @@ evspin:
 .word reset
 `
 
+// OverflowVictimSource returns the P1 overflow victim with a stack
+// buffer of bufBytes bytes (even, so the frame stays word-aligned). The
+// handcrafted scenarios use the 4-byte variant; the generated
+// buffer-offset sweeps (internal/scenario) build the others. The
+// victim's symbols of interest are "evil" (the attacker's destination)
+// and "gadget1" (a ret gadget for chains).
+func OverflowVictimSource(bufBytes int) string {
+	return fmt.Sprintf(overflowVictimTmpl, bufBytes, bufBytes, bufBytes)
+}
+
+// victim firmware shared by the handcrafted P1 scenarios.
+var overflowVictim = OverflowVictimSource(4)
+
+// OverflowPayload builds the canonical overflow input against the
+// overflow victim: a length byte covering fill plus the 2-byte
+// little-endian return-address overwrite.
+func OverflowPayload(fill []byte, ret uint16) []byte {
+	return ChainPayload(fill, ret)
+}
+
+// ChainPayload generalizes OverflowPayload to a return-oriented chain:
+// after fill, each word in rets is consumed by one ret in turn (the
+// first replaces the victim's saved return address, the rest feed the
+// gadgets' own rets).
+func ChainPayload(fill []byte, rets ...uint16) []byte {
+	out := make([]byte, 0, 1+len(fill)+2*len(rets))
+	out = append(out, byte(len(fill)+2*len(rets)))
+	out = append(out, fill...)
+	for _, r := range rets {
+		out = append(out, byte(r), byte(r>>8))
+	}
+	return out
+}
+
 // stackSmash is the canonical P1 attack: overwrite the saved return
 // address through the overflow and divert the return to `evil`.
 func stackSmash() Scenario {
@@ -75,8 +111,7 @@ func stackSmash() Scenario {
 			"address of attacker-chosen code.",
 		Source: overflowVictim,
 		Payload: func(syms map[string]uint16) []byte {
-			evil := syms["evil"]
-			return []byte{6, 'A', 'B', 'C', 'D', byte(evil), byte(evil >> 8)}
+			return OverflowPayload([]byte("ABCD"), syms["evil"])
 		},
 		WantReason: "cfi-check-failed",
 	}
@@ -93,22 +128,18 @@ func ropChain() Scenario {
 			"whose terminating ret pops the next attacker word -> evil.",
 		Source: overflowVictim,
 		Payload: func(syms map[string]uint16) []byte {
-			g1, evil := syms["gadget1"], syms["evil"]
-			return []byte{
-				8, 'A', 'B', 'C', 'D',
-				byte(g1), byte(g1 >> 8),
-				byte(evil), byte(evil >> 8),
-			}
+			return ChainPayload([]byte("ABCD"), syms["gadget1"], syms["evil"])
 		},
 		WantReason: "cfi-check-failed",
 	}
 }
 
-// isrVictim runs a periodic timer interrupt; the adversary corrupts the
-// interrupt context saved on the main stack while the ISR body runs
+// isrVictimTmpl runs a periodic timer interrupt; the adversary corrupts
+// the interrupt context saved on the main stack while the ISR body runs
 // (the paper's P2 threat: "a memory vulnerability in an ISR allows
-// modifications of the main stack where the context is kept").
-const isrVictim = `
+// modifications of the main stack where the context is kept"). The
+// timer period is the template parameter; see ISRVictimSource.
+const isrVictimTmpl = `
 .equ SIMCTL, 0x00FC
 .equ TACTL,  0x0160
 .equ TACCR0, 0x0172
@@ -118,7 +149,7 @@ reset:
     mov #0x0A00, sp
 main:
     clr r10
-    mov #500, &TACCR0
+    mov #%d, &TACCR0
     mov #5, &TACTL
     eint
 wait:
@@ -146,6 +177,28 @@ evspin:
 .word reset
 `
 
+// ISRVictimSource returns the P2 victim with the given timer period in
+// TACCR0 counts. The handcrafted scenario uses 500; the generated
+// timer-period sweeps build the others.
+func ISRVictimSource(period uint16) string {
+	return fmt.Sprintf(isrVictimTmpl, period)
+}
+
+var isrVictim = ISRVictimSource(500)
+
+// ISRSavedRASlot locates the interrupted return address the hardware
+// pushed on the main stack, as seen from the first instruction of an
+// ISR body: the saved context sits above the EILID prologue's three
+// register saves on the protected build, and directly at the stack top
+// on the baseline. P2 tamper pokes (handcrafted and generated) write
+// through this slot.
+func ISRSavedRASlot(m *core.Machine) uint16 {
+	if m.Monitor != nil {
+		return m.CPU.SP() + 8
+	}
+	return m.CPU.SP() + 2
+}
+
 // isrTamper is the P2 attack.
 func isrTamper() Scenario {
 	return Scenario{
@@ -157,21 +210,20 @@ func isrTamper() Scenario {
 		Source: isrVictim,
 		PokeAt: "isr_body",
 		Poke: func(m *core.Machine, syms map[string]uint16) {
-			// Stack at isr_body: the saved context sits above the EILID
-			// prologue's three register saves on the protected build, and
-			// directly at the stack top on the baseline.
-			raSlot := m.CPU.SP() + 2
-			if m.Monitor != nil {
-				raSlot = m.CPU.SP() + 8
-			}
-			m.Space.StoreWord(raSlot, syms["evil"])
+			m.Space.StoreWord(ISRSavedRASlot(m), syms["evil"])
 		},
 		WantReason: "cfi-check-failed",
 	}
 }
 
-// fnptrVictim dispatches work through a function pointer kept in RAM.
-const fnptrVictim = `
+// HandlerAddr is the RAM slot the fnptr and jump victims keep their
+// dispatch pointer in — the address the poke-value sweeps overwrite.
+const HandlerAddr = 0x0400
+
+// FnptrVictim dispatches work through a function pointer kept in RAM
+// (the P3 victim; its legitimate handler is "blink", the attacker's
+// destination "evil").
+const FnptrVictim = `
 .equ SIMCTL,  0x00FC
 .equ P1OUT,   0x0021
 .equ HANDLER, 0x0400
@@ -212,18 +264,18 @@ func fnptrHijack() Scenario {
 		Property: "P3",
 		Description: "A heap/static function pointer is overwritten with the address of " +
 			"attacker-chosen code; the next indirect call dispatches there.",
-		Source: fnptrVictim,
+		Source: FnptrVictim,
 		PokeAt: "work_iter",
 		Poke: func(m *core.Machine, syms map[string]uint16) {
-			m.Space.StoreWord(0x0400, syms["evil"])
+			m.Space.StoreWord(HandlerAddr, syms["evil"])
 		},
 		WantReason: "cfi-check-failed",
 	}
 }
 
-// jumpVictim dispatches through a RAM pointer with an indirect *jump* —
+// JumpVictim dispatches through a RAM pointer with an indirect *jump* —
 // the construct EILID deliberately leaves to the CASU W⊕X layer.
-const jumpVictim = `
+const JumpVictim = `
 .equ SIMCTL,  0x00FC
 .equ HANDLER, 0x0400
 
@@ -244,9 +296,9 @@ stop:
 .word reset
 `
 
-// shellcode assembles the attacker's injected payload: signal compromise
+// Shellcode assembles the attacker's injected payload: signal compromise
 // and spin.
-func shellcode() []byte {
+func Shellcode() []byte {
 	words := isa.MustEncode(isa.Instruction{
 		Op: isa.MOV, Src: isa.Imm(CompromiseCode), Dst: isa.Abs(core.SimCtlAddr),
 	})
@@ -267,22 +319,22 @@ func codeInjection() Scenario {
 		Description: "The adversary writes shellcode into data memory and redirects an " +
 			"indirect jump to it; execution from RAM must be impossible on a " +
 			"CASU/EILID device.",
-		Source: jumpVictim,
+		Source: JumpVictim,
 		PokeAt: "dispatch",
 		Poke: func(m *core.Machine, syms map[string]uint16) {
-			sc := shellcode()
+			sc := Shellcode()
 			for i, b := range sc {
 				m.Space.StoreByte(0x0500+uint16(i), b)
 			}
-			m.Space.StoreWord(0x0400, 0x0500)
+			m.Space.StoreWord(HandlerAddr, 0x0500)
 		},
 		WantReason: "exec-from-nonexec",
 	}
 }
 
-// shadowVictim models an attacker who has found an arbitrary-write
+// ShadowVictim models an attacker who has found an arbitrary-write
 // primitive and aims it at the shadow stack itself.
-const shadowVictim = `
+const ShadowVictim = `
 .equ SIMCTL, 0x00FC
 
 .org 0xE000
@@ -307,7 +359,7 @@ func shadowTamper() Scenario {
 		Description: "An arbitrary-write primitive targets the shadow stack to forge a " +
 			"stored return address; the secure-DMEM exclusivity rule must reset " +
 			"the device on the first touch.",
-		Source:     shadowVictim,
+		Source:     ShadowVictim,
 		Resident:   true,
 		WantReason: "secure-data-access",
 	}

@@ -25,6 +25,7 @@ import (
 	"eilid/internal/core"
 	"eilid/internal/fleet/pool"
 	"eilid/internal/isa"
+	"eilid/internal/scenario"
 )
 
 // Variant names a device build flavour.
@@ -63,15 +64,31 @@ type Spec struct {
 	// recycling a pooled one — the reference lifecycle the recycling
 	// differential tests compare against.
 	NoRecycle bool
+	// Generated sizes the generated scenario dimension (zero Count
+	// disables it).
+	Generated GeneratedSpec
+}
+
+// GeneratedSpec adds a third matrix dimension of seed-derived attack
+// variants (internal/scenario): Count scenarios generated from Seed,
+// each run on both device variants. Generation is deterministic, so the
+// dimension inherits the fleet's byte-identical-results contract.
+type GeneratedSpec struct {
+	Seed  uint64
+	Count int
 }
 
 // Job is one cell of the matrix.
 type Job struct {
 	Index   int     `json:"index"`
-	Kind    string  `json:"kind"` // "app" or "attack"
+	Kind    string  `json:"kind"` // "app", "attack" or "gen"
 	Name    string  `json:"name"`
 	Variant Variant `json:"variant"`
 	Repeat  int     `json:"repeat"`
+	// Family and Victim describe generated jobs: the generator family
+	// and the shared victim build the scenario runs on.
+	Family string `json:"family,omitempty"`
+	Victim string `json:"victim,omitempty"`
 }
 
 // JobResult is the deterministic outcome of one job. It carries only
@@ -92,7 +109,10 @@ type JobResult struct {
 	UART            string `json:"uart,omitempty"`
 	Compromised     bool   `json:"compromised,omitempty"`
 	CheckOK         bool   `json:"check_ok"`
-	Err             string `json:"error,omitempty"`
+	// Oracle carries the oracle's failure description when a generated
+	// job's protected outcome violates it (CheckOK false).
+	Oracle string `json:"oracle,omitempty"`
+	Err    string `json:"error,omitempty"`
 }
 
 // artifact is the shared read-only build product for one firmware:
@@ -119,7 +139,8 @@ type Runner struct {
 	p         *core.Pipeline
 	apps      []apps.App
 	scenarios []attacks.Scenario
-	artifacts map[string]*artifact // keyed by kind/name
+	artifacts map[string]*artifact // keyed by kind/name (gen jobs: gen/victim)
+	generated map[string]scenario.Generated
 	jobs      []Job
 	workers   int
 
@@ -177,6 +198,20 @@ func NewRunner(p *core.Pipeline, spec Spec) (*Runner, error) {
 			return nil, fmt.Errorf("fleet: building %s: %w", sc.Name, err)
 		}
 	}
+	var genItems []scenario.Generated
+	if spec.Generated.Count > 0 {
+		batch := scenario.Generate(spec.Generated.Seed, spec.Generated.Count)
+		for _, v := range batch.Victims {
+			if _, err := r.prepare("gen/"+v.Name, v.Name+".s", v.Source); err != nil {
+				return nil, fmt.Errorf("fleet: building generated victim %s: %w", v.Name, err)
+			}
+		}
+		genItems = batch.Items
+		r.generated = make(map[string]scenario.Generated, len(batch.Items))
+		for _, g := range batch.Items {
+			r.generated[g.Scenario.Name] = g
+		}
+	}
 
 	for rep := 0; rep < repeat; rep++ {
 		for _, app := range r.apps {
@@ -190,6 +225,14 @@ func NewRunner(p *core.Pipeline, spec Spec) (*Runner, error) {
 			for _, v := range variants {
 				r.jobs = append(r.jobs, Job{
 					Index: len(r.jobs), Kind: "attack", Name: sc.Name, Variant: v, Repeat: rep,
+				})
+			}
+		}
+		for _, g := range genItems {
+			for _, v := range variants {
+				r.jobs = append(r.jobs, Job{
+					Index: len(r.jobs), Kind: "gen", Name: g.Scenario.Name,
+					Family: g.Family, Victim: g.Victim, Variant: v, Repeat: rep,
 				})
 			}
 		}
@@ -299,6 +342,8 @@ func (r *Runner) runJob(worker, i int) JobResult {
 	switch job.Kind {
 	case "app":
 		return r.runAppJob(worker, job)
+	case "gen":
+		return r.runGenJob(worker, job)
 	default:
 		return r.runAttackJob(worker, job)
 	}
@@ -319,18 +364,28 @@ func (r *Runner) newMachine(a *artifact, v Variant) (*core.Machine, error) {
 	return t.NewMachine()
 }
 
+// artifactKey locates a job's shared build: generated jobs share their
+// victim's artifact (a thousand-item batch runs on a dozen builds),
+// everything else builds per name.
+func artifactKey(job Job) string {
+	if job.Kind == "gen" {
+		return "gen/" + job.Victim
+	}
+	return job.Kind + "/" + job.Name
+}
+
 // machineFor hands the worker a machine for the cell: the worker's
 // pooled one, recycled back to its sealed snapshot, or — on the cell's
 // first job on this worker, or with recycling off — a fresh build.
 func (r *Runner) machineFor(worker int, job Job) (*core.Machine, error) {
-	a := r.artifacts[job.Kind+"/"+job.Name]
+	a := r.artifacts[artifactKey(job)]
 	if a == nil {
-		return nil, fmt.Errorf("fleet: no artifact for %s/%s", job.Kind, job.Name)
+		return nil, fmt.Errorf("fleet: no artifact for %s", artifactKey(job))
 	}
 	if !r.recycle {
 		return r.newMachine(a, job.Variant)
 	}
-	key := job.Kind + "/" + job.Name + "/" + string(job.Variant)
+	key := artifactKey(job) + "/" + string(job.Variant)
 	cache := r.machines[worker]
 	if cache == nil {
 		cache = map[string]*core.Machine{}
@@ -450,24 +505,24 @@ func (r *Runner) runAttackJob(worker int, job Job) JobResult {
 		res.Err = fmt.Sprintf("unknown scenario %q", job.Name)
 		return res
 	}
-	a := r.artifacts["attack/"+job.Name]
-	baseT, protT := attacks.TargetsFor(r.p, a.build)
-	t := baseT
+	o, err := r.executeScenario(worker, job, sc)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.fillOutcome(o)
+	// For an attack job the "check" is the defence matrix cell: the
+	// baseline must fall, the protected device must reset un-compromised.
 	if job.Variant == VariantProtected {
-		t = protT
+		res.CheckOK = !o.Compromised && o.Resets > 0
+	} else {
+		res.CheckOK = o.Compromised
 	}
-	t.Predecoded = a.pre(job.Variant)
+	return res
+}
 
-	m, err := r.machineFor(worker, job)
-	if err != nil {
-		res.Err = err.Error()
-		return res
-	}
-	o, err := attacks.ExecuteOn(m, t, sc)
-	if err != nil {
-		res.Err = err.Error()
-		return res
-	}
+// fillOutcome copies a scenario outcome's observables into the result.
+func (res *JobResult) fillOutcome(o attacks.Outcome) {
 	res.Cycles = o.Cycles
 	res.Insns = o.Insns
 	res.Halted = o.Halted
@@ -477,12 +532,55 @@ func (r *Runner) runAttackJob(worker int, job Job) JobResult {
 	res.Reason = o.Reason
 	res.UART = o.UART
 	res.Compromised = o.Compromised
-	// For an attack job the "check" is the defence matrix cell: the
-	// baseline must fall, the protected device must reset un-compromised.
+}
+
+// executeScenario runs a scenario for the job's matrix cell: shared
+// build artifact, variant target with the per-ROM decode cache, pooled
+// (or fresh) machine. Handcrafted attack jobs and generated jobs both
+// go through it, so the two kinds cannot diverge in target preparation
+// or machine lifecycle.
+func (r *Runner) executeScenario(worker int, job Job, sc attacks.Scenario) (attacks.Outcome, error) {
+	a := r.artifacts[artifactKey(job)]
+	if a == nil {
+		return attacks.Outcome{}, fmt.Errorf("no artifact for %s", artifactKey(job))
+	}
+	baseT, protT := attacks.TargetsFor(r.p, a.build)
+	t := baseT
 	if job.Variant == VariantProtected {
-		res.CheckOK = !o.Compromised && o.Resets > 0
+		t = protT
+	}
+	t.Predecoded = a.pre(job.Variant)
+
+	m, err := r.machineFor(worker, job)
+	if err != nil {
+		return attacks.Outcome{}, err
+	}
+	return attacks.ExecuteOn(m, t, sc)
+}
+
+// runGenJob executes one generated scenario variant. The check is the
+// generator's oracle: the protected device must uphold EILID's
+// guarantee (never compromised, plausible reset reasons); the baseline
+// outcome is recorded purely as a diagnostic — many generated variants
+// are deliberate near-misses that fizzle everywhere.
+func (r *Runner) runGenJob(worker int, job Job) JobResult {
+	res := JobResult{Job: job}
+	g, ok := r.generated[job.Name]
+	if !ok {
+		res.Err = fmt.Sprintf("unknown generated scenario %q", job.Name)
+		return res
+	}
+	o, err := r.executeScenario(worker, job, g.Scenario)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.fillOutcome(o)
+	if job.Variant == VariantProtected {
+		res.Oracle = g.CheckProtected(o)
+		res.CheckOK = res.Oracle == ""
 	} else {
-		res.CheckOK = o.Compromised
+		res.CheckOK = true
 	}
 	return res
 }

@@ -1,0 +1,108 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// genNDJSON runs a generated-only matrix through the streaming path and
+// returns the per-job NDJSON bytes — the artifact the determinism
+// contract is stated over.
+func genNDJSON(t *testing.T, spec Spec) []byte {
+	t.Helper()
+	r, err := NewRunner(newPipeline(t), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rep, err := r.RunStream(func(jr JobResult) {
+		if err := WriteNDJSONLine(&buf, jr); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures > 0 {
+		t.Fatalf("%d generated jobs errored:\n%s", rep.Failures, buf.String())
+	}
+	return buf.Bytes()
+}
+
+func genSpec(workers int, noRecycle bool) Spec {
+	return Spec{
+		NoApps:      true,
+		NoScenarios: true,
+		Generated:   GeneratedSpec{Seed: 7, Count: 48},
+		Workers:     workers,
+		NoRecycle:   noRecycle,
+	}
+}
+
+// TestGeneratedDeterminismWorkers extends the fleet's byte-identical
+// contract to the generated dimension: a fixed-seed batch streams the
+// same NDJSON on one worker and on eight.
+func TestGeneratedDeterminismWorkers(t *testing.T) {
+	seq := genNDJSON(t, genSpec(1, false))
+	par := genNDJSON(t, genSpec(8, false))
+	if !bytes.Equal(seq, par) {
+		t.Fatal("generated NDJSON differs between 1 and 8 workers")
+	}
+}
+
+// TestGeneratedDeterminismRecycle extends the PR 4 recycled-vs-fresh
+// differential to generated scenarios: machine recycling must not be
+// observable in any generated job's record.
+func TestGeneratedDeterminismRecycle(t *testing.T) {
+	recycled := genNDJSON(t, genSpec(4, false))
+	fresh := genNDJSON(t, genSpec(4, true))
+	if !bytes.Equal(recycled, fresh) {
+		t.Fatal("generated NDJSON differs between recycled and construct-per-job machines")
+	}
+}
+
+// TestGeneratedOracle runs a larger fixed-seed batch and asserts the
+// dimension's security property end to end: every protected job passes
+// its oracle (in particular, zero compromises), while the baseline
+// falls to at least some variants — proof the generated inputs carry
+// real attacks, not noise.
+func TestGeneratedOracle(t *testing.T) {
+	r, err := NewRunner(newPipeline(t), Spec{
+		NoApps:      true,
+		NoScenarios: true,
+		Generated:   GeneratedSpec{Seed: 1, Count: 160},
+		Workers:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures > 0 || rep.ChecksFailed > 0 {
+		for _, jr := range rep.Results {
+			if jr.Err != "" || !jr.CheckOK {
+				t.Errorf("job %d %s/%s: err=%q oracle=%q", jr.Index, jr.Name, jr.Variant, jr.Err, jr.Oracle)
+			}
+		}
+		t.Fatalf("%d failures, %d check failures", rep.Failures, rep.ChecksFailed)
+	}
+	if rep.GenProtected == 0 || rep.GenProtected != rep.GenBaseline {
+		t.Fatalf("lopsided dimension: %d protected vs %d baseline jobs", rep.GenProtected, rep.GenBaseline)
+	}
+	if rep.GenProtectedCompromised != 0 {
+		t.Fatalf("%d protected compromises — EILID's guarantee broken", rep.GenProtectedCompromised)
+	}
+	if rep.GenBaselineCompromised == 0 {
+		t.Fatal("no generated variant compromised the baseline; the batch carries no real attacks")
+	}
+	// Every family must have reached the matrix.
+	fams := map[string]bool{}
+	for _, jr := range rep.Results {
+		fams[jr.Family] = true
+	}
+	if len(fams) < 8 {
+		t.Fatalf("only %d families ran: %v", len(fams), fams)
+	}
+}

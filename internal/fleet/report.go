@@ -21,6 +21,15 @@ type Report struct {
 	WallMS        float64 `json:"wall_ms"`
 	MCyclesPerSec float64 `json:"sim_mcycles_per_sec"`
 
+	// The generated-dimension diagnostics: how many generated jobs ran
+	// per variant and how many ended compromised. The protected count
+	// must be zero (each compromise is also a failed check); the
+	// baseline rate measures how sharp the generated inputs are.
+	GenProtected            int `json:"gen_protected,omitempty"`
+	GenProtectedCompromised int `json:"gen_protected_compromised,omitempty"`
+	GenBaseline             int `json:"gen_baseline,omitempty"`
+	GenBaselineCompromised  int `json:"gen_baseline_compromised,omitempty"`
+
 	// Results is ordered by job index; nil on streamed runs, whose
 	// per-job results were delivered incrementally instead of retained.
 	Results []JobResult `json:"results,omitempty"`
@@ -31,6 +40,19 @@ func (r *Report) add(jr JobResult) {
 	r.Jobs++
 	r.TotalCycles += jr.Cycles
 	r.TotalInsns += jr.Insns
+	if jr.Kind == "gen" && jr.Err == "" {
+		if jr.Variant == VariantProtected {
+			r.GenProtected++
+			if jr.Compromised {
+				r.GenProtectedCompromised++
+			}
+		} else {
+			r.GenBaseline++
+			if jr.Compromised {
+				r.GenBaselineCompromised++
+			}
+		}
+	}
 	switch {
 	case jr.Err != "":
 		// An errored job never ran its check; count it once as a
@@ -88,6 +110,9 @@ func (jr JobResult) RenderRow(w io.Writer) {
 	} else if jr.Compromised {
 		note = "compromised " + note
 	}
+	if jr.Oracle != "" {
+		note += " [oracle: " + jr.Oracle + "]"
+	}
 	check := "ok"
 	if !jr.CheckOK {
 		check = "FAIL"
@@ -100,6 +125,10 @@ func (jr JobResult) RenderRow(w io.Writer) {
 func (r *Report) RenderSummary(w io.Writer) {
 	fmt.Fprintf(w, "fleet: %d jobs on %d workers in %.1f ms (%.2f simMcycles/s)\n",
 		r.Jobs, r.Workers, r.WallMS, r.MCyclesPerSec)
+	if r.GenProtected+r.GenBaseline > 0 {
+		fmt.Fprintf(w, "generated: %d protected jobs (%d compromised), baseline compromised %d/%d\n",
+			r.GenProtected, r.GenProtectedCompromised, r.GenBaselineCompromised, r.GenBaseline)
+	}
 	fmt.Fprintf(w, "totals: %d cycles, %d insns, %d failures, %d check failures\n",
 		r.TotalCycles, r.TotalInsns, r.Failures, r.ChecksFailed)
 }

@@ -1,0 +1,39 @@
+package scenario
+
+// The generator's randomness is a splitmix64 stream specified here in
+// full, rather than math/rand, so a (seed, index) pair produces the
+// same scenario on every platform and Go release — the fleet's
+// byte-identical NDJSON contract extends to the generated dimension.
+
+const golden = 0x9E3779B97F4A7C15
+
+// mix64 is the splitmix64 finalizer: a bijective scramble of its input.
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// rng is one splitmix64 stream.
+type rng struct{ s uint64 }
+
+// itemRNG opens the stream for batch item i of a seed (i = -1 is the
+// per-seed pool stream). Streams of different items never overlap:
+// each starts from an independently scrambled state, not an offset
+// into a shared sequence.
+func itemRNG(seed uint64, i int) *rng {
+	return &rng{s: mix64(seed ^ mix64(uint64(int64(i))+golden))}
+}
+
+func (r *rng) next() uint64 {
+	r.s += golden
+	return mix64(r.s)
+}
+
+// intn returns a value in [0, n). The modulo bias is irrelevant here:
+// the draws parameterize fuzz coverage, not statistics.
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) byteVal() byte { return byte(r.next()) }
+
+func (r *rng) word() uint16 { return uint16(r.next()) }
