@@ -46,7 +46,7 @@ func runOnce(b *testing.B, p *core.Pipeline, app apps.App, build *core.BuildResu
 	img := build.Original.Image
 	if protected {
 		opts.ROM = p.ROM()
-		opts.Protected = true
+		opts.Defense = core.DefenseEILID
 		img = build.Instrumented.Image
 	}
 	m, err := core.NewMachine(opts)
@@ -331,7 +331,7 @@ func BenchmarkFleet_MachineChurn(b *testing.B) {
 	}
 	newMachine := func(b *testing.B) *core.Machine {
 		b.Helper()
-		m, err := core.NewMachine(core.MachineOptions{Config: p.Config(), ROM: p.ROM(), Protected: true})
+		m, err := core.NewMachine(core.MachineOptions{Config: p.Config(), ROM: p.ROM(), Defense: core.DefenseEILID})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -390,7 +390,7 @@ loop:
 	if err != nil {
 		b.Fatal(err)
 	}
-	m, err := core.NewMachine(core.MachineOptions{Config: p.Config(), ROM: p.ROM(), Protected: true})
+	m, err := core.NewMachine(core.MachineOptions{Config: p.Config(), ROM: p.ROM(), Defense: core.DefenseEILID})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -428,7 +428,7 @@ func BenchmarkAblation_MonitorPassive(b *testing.B) {
 		unprot = runOnce(b, p, app, build, false, nil)
 		// Original image on the protected machine: hardware watches, no
 		// software instrumentation runs.
-		m, err := core.NewMachine(core.MachineOptions{Config: p.Config(), ROM: p.ROM(), Protected: true})
+		m, err := core.NewMachine(core.MachineOptions{Config: p.Config(), ROM: p.ROM(), Defense: core.DefenseEILID})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -500,7 +500,7 @@ spin:
 			}
 			var cycles uint64
 			for i := 0; i < b.N; i++ {
-				m, err := core.NewMachine(core.MachineOptions{Config: p.Config(), ROM: p.ROM(), Protected: true})
+				m, err := core.NewMachine(core.MachineOptions{Config: p.Config(), ROM: p.ROM(), Defense: core.DefenseEILID})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -576,7 +576,7 @@ work:
 			}
 			var cycles uint64
 			for i := 0; i < b.N; i++ {
-				m, err := core.NewMachine(core.MachineOptions{Config: p.Config(), ROM: p.ROM(), Protected: true})
+				m, err := core.NewMachine(core.MachineOptions{Config: p.Config(), ROM: p.ROM(), Defense: core.DefenseEILID})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,17 +1,22 @@
-// Command eilid-fleet runs the full application × variant ×
+// Command eilid-fleet runs the full application × defense ×
 // attack-scenario matrix through the fleet runner: every firmware is
 // assembled and predecoded once, then the jobs execute concurrently on
 // independent simulated machines, and the deterministic per-job results
-// are aggregated into a report.
+// are aggregated into a report ending in a defense × attack detection
+// matrix.
 //
 // Usage:
 //
 //	eilid-fleet [-workers N] [-repeat N] [-apps a,b] [-scenarios x,y]
+//	            [-defenses baseline,eilid,shadow,critvar]
 //	            [-gen N] [-seed S] [-json out.ndjson] [-verify] [-q]
+//
+// -defenses selects the defense columns from the registry
+// (core.Defenses); the default runs every registered defense.
 //
 // -gen N adds a third matrix dimension of N seed-derived attack
 // variants (internal/scenario) generated from -seed, each run against
-// both device variants. Generation depends only on (seed, index), so
+// every selected defense. Generation depends only on (seed, index), so
 // the per-job NDJSON lines are byte-identical across runs and worker
 // counts, and any record is reproducible from its seed and index.
 //
@@ -69,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	scenariosFlag := fs.String("scenarios", "", "comma-separated scenario subset (default: all)")
 	noApps := fs.Bool("no-apps", false, "skip the application dimension")
 	noScenarios := fs.Bool("no-scenarios", false, "skip the attack dimension")
+	defensesFlag := fs.String("defenses", "", "comma-separated defense columns (default: all registered)")
 	gen := fs.Int("gen", 0, "number of generated attack variants to add (0 = none)")
 	seed := fs.Uint64("seed", 1, "seed for the generated dimension")
 	jsonOut := fs.String("json", "", "stream the results as NDJSON (one line per job + a summary line) to this file (- for stdout)")
@@ -92,6 +98,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Scenarios:   splitList(*scenariosFlag),
 		NoApps:      *noApps,
 		NoScenarios: *noScenarios,
+		Defenses:    splitList(*defensesFlag),
 		Repeat:      *repeat,
 		Workers:     *workers,
 		NoRecycle:   !*recycle,

@@ -15,7 +15,8 @@ func TestFleetSmallMatrix(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s\n%s", code, errb.String(), out.String())
 	}
-	for _, want := range []string{"4 jobs", "LightSensor", "stack-smash"} {
+	// 1 app + 1 scenario, each across the 4 registered defenses.
+	for _, want := range []string{"8 jobs", "LightSensor", "stack-smash", "detection matrix", "shadow", "critvar"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
@@ -49,7 +50,7 @@ func TestFleetVerifyAndJSON(t *testing.T) {
 	var out, errb strings.Builder
 	code := run([]string{
 		"-apps", "TempSensor", "-no-scenarios", "-workers", "8", "-repeat", "2",
-		"-verify", "-q", "-json", path,
+		"-defenses", "baseline,eilid", "-verify", "-q", "-json", path,
 	}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s\n%s", code, errb.String(), out.String())
@@ -158,14 +159,29 @@ func TestFleetGeneratedDimension(t *testing.T) {
 	if raw1 != raw6 {
 		t.Error("generated job lines differ between -workers 1 and -workers 6")
 	}
-	if len(jobs1) != 48 {
-		t.Fatalf("got %d job lines, want 48 (24 scenarios x 2 variants)", len(jobs1))
+	if len(jobs1) != 96 {
+		t.Fatalf("got %d job lines, want 96 (24 scenarios x 4 defenses)", len(jobs1))
 	}
-	if sum1["gen_protected"].(float64) != 24 || sum1["gen_baseline"].(float64) != 24 {
-		t.Fatalf("summary missing generated diagnostics: %+v", sum1)
+	// The summary line carries the defense × family matrix; tally the
+	// per-defense totals out of it.
+	matrix, ok := sum1["matrix"].(map[string]any)
+	if !ok || len(matrix) == 0 {
+		t.Fatalf("summary missing matrix: %+v", sum1)
 	}
-	if v, ok := sum1["gen_protected_compromised"]; ok {
-		t.Fatalf("protected compromises in summary: %v", v)
+	jobsOf := func(defense, field string) float64 {
+		var n float64
+		for _, col := range matrix {
+			if cell, ok := col.(map[string]any)[defense].(map[string]any); ok {
+				n += cell[field].(float64)
+			}
+		}
+		return n
+	}
+	if jobsOf("eilid", "jobs") != 24 || jobsOf("baseline", "jobs") != 24 {
+		t.Fatalf("lopsided matrix columns: %+v", matrix)
+	}
+	if n := jobsOf("eilid", "compromised"); n != 0 {
+		t.Fatalf("%v EILID compromises in matrix: %+v", n, matrix)
 	}
 	for _, j := range jobs1 {
 		if j["kind"] != "gen" {

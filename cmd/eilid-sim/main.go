@@ -85,7 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	img := build.Original.Image
 	if !*unprotected {
 		opts.ROM = pipeline.ROM()
-		opts.Protected = true
+		opts.Defense = core.DefenseEILID
 		img = build.Instrumented.Image
 	}
 	m, err := core.NewMachine(opts)

@@ -40,7 +40,7 @@ func main() {
 		img := build.Original.Image
 		if protected {
 			opts.ROM = pipeline.ROM()
-			opts.Protected = true
+			opts.Defense = core.DefenseEILID
 			img = build.Instrumented.Image
 		}
 		m, err := core.NewMachine(opts)

@@ -25,7 +25,7 @@ func main() {
 	authority := casu.NewAuthority(key)
 	updater := casu.NewUpdater(key, cfg.Layout)
 
-	m, err := core.NewMachine(core.MachineOptions{Config: cfg, ROM: pipeline.ROM(), Protected: true})
+	m, err := core.NewMachine(core.MachineOptions{Config: cfg, ROM: pipeline.ROM(), Defense: core.DefenseEILID})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,7 +99,7 @@ spin:
 	if err != nil {
 		log.Fatal(err)
 	}
-	m2, err := core.NewMachine(core.MachineOptions{Config: cfg, ROM: pipeline.ROM(), Protected: true})
+	m2, err := core.NewMachine(core.MachineOptions{Config: cfg, ROM: pipeline.ROM(), Defense: core.DefenseEILID})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -25,7 +25,7 @@ func main() {
 	}
 
 	newMachine := func() *core.Machine {
-		m, err := core.NewMachine(core.MachineOptions{Config: cfg, ROM: pipeline.ROM(), Protected: true})
+		m, err := core.NewMachine(core.MachineOptions{Config: cfg, ROM: pipeline.ROM(), Defense: core.DefenseEILID})
 		if err != nil {
 			log.Fatal(err)
 		}

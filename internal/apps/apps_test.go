@@ -78,7 +78,7 @@ func TestAppsInstrumentedEquivalence(t *testing.T) {
 
 			// Instrumented on the EILID-protected device.
 			mp, err := core.NewMachine(core.MachineOptions{
-				Config: p.Config(), ROM: p.ROM(), Protected: true,
+				Config: p.Config(), ROM: p.ROM(), Defense: core.DefenseEILID,
 			})
 			if err != nil {
 				t.Fatal(err)

@@ -106,14 +106,15 @@ const budget = 5_000_000
 // fleet runner replay the same scenario on many machines concurrently.
 type Target struct {
 	Config  core.Config
-	ROM     *core.SecureROM // required when Protected
+	ROM     *core.SecureROM // required for instrumented defenses
 	Image   *asm.Image
 	Symbols map[string]uint16
-	// Protected enables the CASU/EILID monitor (and loads ROM).
-	Protected bool
+	// Defense selects the monitor variant; nil means
+	// core.DefenseBaseline.
+	Defense *core.DefenseSpec
 	// Predecoded optionally shares a decode cache built (via
 	// core.Machine.EnablePredecode) from a machine loaded with this
-	// exact Image (and ROM, when protected).
+	// exact Image (and ROM, for instrumented defenses).
 	Predecoded *isa.Predecoded
 }
 
@@ -125,21 +126,31 @@ func (t Target) Symbol(name string) (uint16, bool) {
 	return v, ok
 }
 
-// TargetsFor derives the baseline and protected targets from a build.
-func TargetsFor(p *core.Pipeline, build *core.BuildResult) (baseline, protected Target) {
-	baseline = Target{
+// TargetFor derives the target for one defense from a build: an
+// instrumented defense attacks the EILIDinst build (with its shifted
+// layout and trampolines), everything else the original build.
+func TargetFor(p *core.Pipeline, build *core.BuildResult, spec *core.DefenseSpec) Target {
+	if spec == nil {
+		spec = core.DefenseBaseline
+	}
+	t := Target{
 		Config:  p.Config(),
 		Image:   build.Original.Image,
 		Symbols: build.Original.Symbols,
+		Defense: spec,
 	}
-	protected = Target{
-		Config:    p.Config(),
-		ROM:       p.ROM(),
-		Image:     build.Instrumented.Image,
-		Symbols:   build.Instrumented.Symbols,
-		Protected: true,
+	if spec.Instrumented {
+		t.ROM = p.ROM()
+		t.Image = build.Instrumented.Image
+		t.Symbols = build.Instrumented.Symbols
 	}
-	return baseline, protected
+	return t
+}
+
+// TargetsFor derives the baseline and EILID-protected targets from a
+// build (the two columns of the paper's own comparison).
+func TargetsFor(p *core.Pipeline, build *core.BuildResult) (baseline, protected Target) {
+	return TargetFor(p, build, core.DefenseBaseline), TargetFor(p, build, core.DefenseEILID)
 }
 
 // Run executes the scenario against both device variants.
@@ -167,11 +178,7 @@ func Run(p *core.Pipeline, sc Scenario) (Result, error) {
 // machine through this helper, seals it with core.Machine.Snapshot and
 // recycles it between jobs.
 func (t Target) NewMachine() (*core.Machine, error) {
-	opts := core.MachineOptions{Config: t.Config}
-	if t.Protected {
-		opts.ROM = t.ROM
-		opts.Protected = true
-	}
+	opts := core.MachineOptions{Config: t.Config, ROM: t.ROM, Defense: t.Defense}
 	m, err := core.NewMachine(opts)
 	if err != nil {
 		return nil, err
@@ -200,7 +207,7 @@ func Execute(t Target, sc Scenario) (Outcome, error) {
 // must carry the target's image (and decode cache, when shared).
 func ExecuteOn(m *core.Machine, t Target, sc Scenario) (Outcome, error) {
 	syms := t.Symbols
-	protected := t.Protected
+	monitored := m.Monitor != nil
 	if sc.Payload != nil {
 		m.UART.Feed(sc.Payload(syms))
 	}
@@ -235,7 +242,7 @@ func ExecuteOn(m *core.Machine, t Target, sc Scenario) (Outcome, error) {
 	if limit == 0 {
 		limit = budget
 	}
-	if protected && !sc.RunThroughResets {
+	if monitored && !sc.RunThroughResets {
 		_, _ = m.RunUntilReset(limit)
 	} else {
 		_, _ = m.Run(limit)

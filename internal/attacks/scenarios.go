@@ -189,11 +189,11 @@ var isrVictim = ISRVictimSource(500)
 // ISRSavedRASlot locates the interrupted return address the hardware
 // pushed on the main stack, as seen from the first instruction of an
 // ISR body: the saved context sits above the EILID prologue's three
-// register saves on the protected build, and directly at the stack top
-// on the baseline. P2 tamper pokes (handcrafted and generated) write
-// through this slot.
+// register saves on the instrumented build, and directly at the stack
+// top on the original build (whatever defense watches it). P2 tamper
+// pokes (handcrafted and generated) write through this slot.
 func ISRSavedRASlot(m *core.Machine) uint16 {
-	if m.Monitor != nil {
+	if m.Instrumented() {
 		return m.CPU.SP() + 8
 	}
 	return m.CPU.SP() + 2

@@ -64,7 +64,30 @@ const (
 	// inside the secure ROM (atomicity breach; normally prevented by the
 	// hardware IRQ gate, kept as defence in depth).
 	ViolationIRQInSecure
+	// ViolationShadowRA is a return whose target does not match any
+	// genuine frame on the hardware shadow stack (ShadowStack defense).
+	ViolationShadowRA
+	// ViolationShadowRFI is a return-from-interrupt whose target does
+	// not match the interrupted context the hardware recorded
+	// (ShadowStack defense).
+	ViolationShadowRFI
+	// ViolationCritVar is a watched decision variable whose value
+	// diverged from the last attested write (CritVar defense).
+	ViolationCritVar
+
+	// violationKindEnd is one past the last kind; keep it last.
+	violationKindEnd
 )
+
+// ViolationKinds returns every reportable kind (excluding
+// ViolationNone) in numeric order.
+func ViolationKinds() []ViolationKind {
+	out := make([]ViolationKind, 0, int(violationKindEnd)-1)
+	for k := ViolationPMEMWrite; k < violationKindEnd; k++ {
+		out = append(out, k)
+	}
+	return out
+}
 
 func (k ViolationKind) String() string {
 	switch k {
@@ -90,6 +113,12 @@ func (k ViolationKind) String() string {
 		return "cfi-check-failed"
 	case ViolationIRQInSecure:
 		return "irq-in-secure"
+	case ViolationShadowRA:
+		return "shadow-ra-mismatch"
+	case ViolationShadowRFI:
+		return "shadow-rfi-mismatch"
+	case ViolationCritVar:
+		return "critical-variable-tamper"
 	}
 	return fmt.Sprintf("violation(%d)", uint8(k))
 }
@@ -151,11 +180,16 @@ func (m *Monitor) Clear() { m.violation = nil; m.curPC = 0 }
 // PowerOn returns the monitor to its freshly constructed state: armed,
 // no secure-state history, trip counters zeroed. Clear survives device
 // resets (Trips is "since construction"); PowerOn models the machine
-// being power-cycled, which is what fleet recycling simulates.
+// being power-cycled, which is what fleet recycling simulates. The map
+// is cleared in place: the recycle path runs per job at ~3 µs and must
+// not allocate.
 func (m *Monitor) PowerOn() {
 	m.Clear()
-	m.Trips = map[ViolationKind]int{}
+	clear(m.Trips)
 }
+
+// TripCounts implements Defense.
+func (m *Monitor) TripCounts() map[ViolationKind]int { return m.Trips }
 
 // InSecure reports whether the monitor last saw the PC inside the secure
 // ROM (the hardware "secure state" flag).

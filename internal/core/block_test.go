@@ -9,9 +9,9 @@ import (
 	"eilid/internal/isa"
 )
 
-// TestBlockDifferential runs every Table IV application on both device
-// variants with basic-block execution on (the default) and with
-// SetBlockExec(false) — per-instruction dispatch over the same
+// TestBlockDifferential runs every Table IV application under every
+// registered defense with basic-block execution on (the default) and
+// with SetBlockExec(false) — per-instruction dispatch over the same
 // predecoded entries, the PR 2 reference path — and requires
 // cycle-exact equivalence in every observable: cycles, instruction
 // counts, bus errors, watcher event streams, interrupt arrival cycles,
@@ -28,10 +28,10 @@ func TestBlockDifferential(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, protected := range []bool{false, true} {
-				blocks := runObserved(t, p, app, build, protected, nil)
-				noBlocks := runObserved(t, p, app, build, protected, func(m *core.Machine) { m.SetBlockExec(false) })
-				compareObserved(t, fmt.Sprintf("%s protected=%v", app.Name, protected), blocks, noBlocks)
+			for _, spec := range core.Defenses() {
+				blocks := runObserved(t, p, app, build, spec, nil)
+				noBlocks := runObserved(t, p, app, build, spec, func(m *core.Machine) { m.SetBlockExec(false) })
+				compareObserved(t, fmt.Sprintf("%s defense=%s", app.Name, spec.Name), blocks, noBlocks)
 			}
 		})
 	}
@@ -186,8 +186,8 @@ handler:
 	}
 	wrapped := &core.BuildResult{Original: build}
 
-	blocks := runObserved(t, p, app, wrapped, false, nil)
-	noBlocks := runObserved(t, p, app, wrapped, false, func(m *core.Machine) { m.SetBlockExec(false) })
+	blocks := runObserved(t, p, app, wrapped, core.DefenseBaseline, nil)
+	noBlocks := runObserved(t, p, app, wrapped, core.DefenseBaseline, func(m *core.Machine) { m.SetBlockExec(false) })
 	compareObserved(t, "deadline-straddle", blocks, noBlocks)
 	if len(blocks.irqCycles) == 0 {
 		t.Fatal("straddle workload accepted no interrupts; the test is vacuous")
@@ -208,12 +208,11 @@ func TestBlockDifferentialUnwatched(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run := func(app apps.App, build *core.BuildResult, protected, blocks bool) (core.RunResult, [16]uint16, int, *apps.Inspection) {
-		opts := core.MachineOptions{Config: p.Config()}
+	run := func(app apps.App, build *core.BuildResult, spec *core.DefenseSpec, blocks bool) (core.RunResult, [16]uint16, int, *apps.Inspection) {
+		opts := core.MachineOptions{Config: p.Config(), Defense: spec}
 		img := build.Original.Image
-		if protected {
+		if spec.Instrumented {
 			opts.ROM = p.ROM()
-			opts.Protected = true
 			img = build.Instrumented.Image
 		}
 		m, err := core.NewMachine(opts)
@@ -242,10 +241,10 @@ func TestBlockDifferentialUnwatched(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, protected := range []bool{false, true} {
-				onRes, onR, onBE, onInsp := run(app, build, protected, true)
-				offRes, offR, offBE, offInsp := run(app, build, protected, false)
-				what := fmt.Sprintf("%s protected=%v", app.Name, protected)
+			for _, spec := range core.Defenses() {
+				onRes, onR, onBE, onInsp := run(app, build, spec, true)
+				offRes, offR, offBE, offInsp := run(app, build, spec, false)
+				what := fmt.Sprintf("%s defense=%s", app.Name, spec.Name)
 				if onRes.Cycles != offRes.Cycles || onRes.Insns != offRes.Insns {
 					t.Errorf("%s: %d/%d vs %d/%d cycles/insns", what,
 						onRes.Cycles, onRes.Insns, offRes.Cycles, offRes.Insns)

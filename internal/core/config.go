@@ -78,6 +78,10 @@ type Config struct {
 	// this suffix is treated as an ISR prologue (the paper discovers ISRs
 	// "by their reserved names").
 	ISRSuffix string
+
+	// CritVars lists the word-aligned DMEM addresses the critvar defense
+	// registers as critical decision variables (OAT-style watchpoints).
+	CritVars []uint16
 }
 
 // DefaultConfig returns the memory plan used throughout the repository
@@ -95,6 +99,10 @@ func DefaultConfig() Config {
 		TrampolineOrg:    0xF700,
 		MainLabel:        "main",
 		ISRSuffix:        "_ISR",
+		// The benchmark applications keep their control decision state
+		// at 0x0400 (attacks.HandlerAddr): the stored handler/threshold
+		// word every data-only attack family targets.
+		CritVars: []uint16{0x0400},
 	}
 }
 
@@ -122,6 +130,11 @@ func (c Config) Validate() error {
 	if c.MaxShadowEntries < 4 || c.MaxFunctions < 1 {
 		return fmt.Errorf("core: degenerate sizes (shadow %d, functions %d)",
 			c.MaxShadowEntries, c.MaxFunctions)
+	}
+	for _, w := range c.CritVars {
+		if w&1 != 0 {
+			return fmt.Errorf("core: critical variable 0x%04x not word-aligned", w)
+		}
 	}
 	return nil
 }

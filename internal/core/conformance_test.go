@@ -163,7 +163,7 @@ func TestEILIDswConformanceProperty(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v\n%s", trial, err, src)
 		}
-		m, err := NewMachine(MachineOptions{Config: cfg, ROM: p.ROM(), Protected: true})
+		m, err := NewMachine(MachineOptions{Config: cfg, ROM: p.ROM(), Defense: DefenseEILID})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -230,7 +230,7 @@ func TestEILIDswBoundaryConditions(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m, err := NewMachine(MachineOptions{Config: cfg, ROM: p.ROM(), Protected: true})
+		m, err := NewMachine(MachineOptions{Config: cfg, ROM: p.ROM(), Defense: DefenseEILID})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -315,7 +315,7 @@ spin:
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := NewMachine(MachineOptions{Config: cfg, ROM: p.ROM(), Protected: true})
+	m2, err := NewMachine(MachineOptions{Config: cfg, ROM: p.ROM(), Defense: DefenseEILID})
 	if err != nil {
 		t.Fatal(err)
 	}

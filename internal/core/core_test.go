@@ -86,7 +86,7 @@ func mustBuild(t *testing.T, p *Pipeline, name, src string) *BuildResult {
 // protectedMachine loads the instrumented image into an EILID device.
 func protectedMachine(t *testing.T, p *Pipeline, r *BuildResult) *Machine {
 	t.Helper()
-	m, err := NewMachine(MachineOptions{Config: p.Config(), ROM: p.ROM(), Protected: true})
+	m, err := NewMachine(MachineOptions{Config: p.Config(), ROM: p.ROM(), Defense: DefenseEILID})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -731,9 +731,9 @@ spin:
 	}
 }
 
-func TestProtectedMachineRequiresROM(t *testing.T) {
-	if _, err := NewMachine(MachineOptions{Config: DefaultConfig(), Protected: true}); err == nil {
-		t.Error("protected machine without ROM accepted")
+func TestInstrumentedDefenseRequiresROM(t *testing.T) {
+	if _, err := NewMachine(MachineOptions{Config: DefaultConfig(), Defense: DefenseEILID}); err == nil {
+		t.Error("instrumented defense without ROM accepted")
 	}
 }
 

@@ -67,13 +67,12 @@ type observed struct {
 	irqCycles []uint64
 }
 
-func runObserved(t *testing.T, p *core.Pipeline, app apps.App, build *core.BuildResult, protected bool, configure func(*core.Machine)) observed {
+func runObserved(t *testing.T, p *core.Pipeline, app apps.App, build *core.BuildResult, spec *core.DefenseSpec, configure func(*core.Machine)) observed {
 	t.Helper()
-	opts := core.MachineOptions{Config: p.Config()}
+	opts := core.MachineOptions{Config: p.Config(), Defense: spec}
 	img := build.Original.Image
-	if protected {
+	if spec.Instrumented {
 		opts.ROM = p.ROM()
-		opts.Protected = true
 		img = build.Instrumented.Image
 	}
 	m, err := core.NewMachine(opts)
@@ -153,8 +152,8 @@ func compareObserved(t *testing.T, what string, a, b observed) {
 	}
 }
 
-// TestFastSlowDifferential runs every Table IV application on both
-// device variants with all fast paths on (page-table bus dispatch,
+// TestFastSlowDifferential runs every Table IV application under every
+// registered defense with all fast paths on (page-table bus dispatch,
 // threaded-code executors, direct RAM access, deadline-batched
 // peripheral ticking) and with every fast path forced to its reference
 // implementation, and requires cycle-exact equivalence.
@@ -170,10 +169,10 @@ func TestFastSlowDifferential(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, protected := range []bool{false, true} {
-				fast := runObserved(t, p, app, build, protected, nil)
-				slow := runObserved(t, p, app, build, protected, func(m *core.Machine) { m.ForceSlowPaths() })
-				compareObserved(t, fmt.Sprintf("%s protected=%v", app.Name, protected), fast, slow)
+			for _, spec := range core.Defenses() {
+				fast := runObserved(t, p, app, build, spec, nil)
+				slow := runObserved(t, p, app, build, spec, func(m *core.Machine) { m.ForceSlowPaths() })
+				compareObserved(t, fmt.Sprintf("%s defense=%s", app.Name, spec.Name), fast, slow)
 			}
 		})
 	}
@@ -183,7 +182,7 @@ func TestFastSlowDifferential(t *testing.T) {
 // the ticking strategy differs (deadline-batched vs per-instruction),
 // everything else stays on the fast path. Interrupt arrival cycles,
 // RunResult and reset reasons must be byte-identical for every app ×
-// variant.
+// defense.
 func TestTickEquivalence(t *testing.T) {
 	p, err := core.NewPipeline(core.DefaultConfig())
 	if err != nil {
@@ -196,10 +195,10 @@ func TestTickEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, protected := range []bool{false, true} {
-				batched := runObserved(t, p, app, build, protected, nil)
-				eager := runObserved(t, p, app, build, protected, func(m *core.Machine) { m.EagerTicks = true })
-				compareObserved(t, fmt.Sprintf("%s protected=%v", app.Name, protected), batched, eager)
+			for _, spec := range core.Defenses() {
+				batched := runObserved(t, p, app, build, spec, nil)
+				eager := runObserved(t, p, app, build, spec, func(m *core.Machine) { m.EagerTicks = true })
+				compareObserved(t, fmt.Sprintf("%s defense=%s", app.Name, spec.Name), batched, eager)
 			}
 		})
 	}
@@ -309,7 +308,7 @@ spin:
 		t.Fatal(err)
 	}
 	run := func(eager bool) (uint16, uint64, core.RunResult, int) {
-		m, err := core.NewMachine(core.MachineOptions{Config: p.Config(), ROM: p.ROM(), Protected: true})
+		m, err := core.NewMachine(core.MachineOptions{Config: p.Config(), ROM: p.ROM(), Defense: core.DefenseEILID})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -30,10 +30,11 @@ func (s *simCtl) StoreWord(addr uint16, v uint16) {
 	s.code = v
 }
 
-// Machine is a complete simulated EILID device: CPU, memory, peripherals,
-// the CASU/EILID hardware monitor and the secure ROM. With Protected =
-// false it models the unprotected baseline used in the paper's attack
-// comparisons (same hardware, monitor absent).
+// Machine is a complete simulated device: CPU, memory, peripherals, and
+// whichever defense monitor the configured DefenseSpec wires to the
+// buses (the CASU/EILID monitor with its secure ROM, a hardware shadow
+// stack, critical-variable watchpoints, or — the baseline of the paper's
+// attack comparisons — no monitor at all on identical hardware).
 type Machine struct {
 	Space  *mem.Space
 	CPU    *cpu.CPU
@@ -47,8 +48,10 @@ type Machine struct {
 	Ranger *periph.Ultrasonic
 	Latch  *periph.ViolationLatch
 
-	// Monitor is nil on unprotected machines.
-	Monitor *casu.Monitor
+	// Monitor is the wired defense monitor; nil on baseline machines.
+	Monitor casu.Defense
+	// defense is the spec the machine was assembled from.
+	defense *DefenseSpec
 
 	// ResetCount counts hardware-triggered resets (violations).
 	ResetCount int
@@ -90,11 +93,12 @@ type Machine struct {
 // MachineOptions configures NewMachine.
 type MachineOptions struct {
 	Config Config
-	// ROM is the EILIDsw build; required when Protected.
+	// ROM is the EILIDsw build; required when the defense is
+	// instrumented (DefenseSpec.Instrumented).
 	ROM *SecureROM
-	// Protected enables the CASU/EILID hardware monitor and loads the
-	// secure ROM.
-	Protected bool
+	// Defense selects the monitor to wire in; nil means
+	// DefenseBaseline (no monitor).
+	Defense *DefenseSpec
 }
 
 // NewMachine assembles a device.
@@ -157,21 +161,24 @@ func NewMachine(opts MachineOptions) (*Machine, error) {
 		return nil, err
 	}
 
-	if opts.Protected {
+	spec := opts.Defense
+	if spec == nil {
+		spec = DefenseBaseline
+	}
+	m.defense = spec
+	if spec.Instrumented {
 		if opts.ROM == nil {
-			return nil, errors.New("core: protected machine requires the EILIDsw ROM")
+			return nil, fmt.Errorf("core: defense %q requires the EILIDsw ROM", spec.Name)
 		}
 		if err := opts.ROM.Program.Image.WriteTo(space); err != nil {
 			return nil, fmt.Errorf("core: loading EILIDsw: %w", err)
 		}
-		m.Monitor = casu.NewMonitor(casu.Config{
-			Layout:              cfg.Layout,
-			EntryPoint:          opts.ROM.Entry,
-			ExitPoint:           opts.ROM.Exit,
-			ViolationAddr:       cfg.ViolationAddr,
-			EnforceSecureRegion: true,
-		})
+	}
+	if spec.New != nil {
+		m.Monitor = spec.New(DefenseEnv{Config: cfg, ROM: opts.ROM, Peek: space.PeekWord})
 		m.CPU.Watch = m.Monitor
+	}
+	if spec.GateIRQ {
 		m.CPU.IRQ = &casu.GateIRQ{
 			Inner:  m.IRQ,
 			Layout: cfg.Layout,
@@ -182,6 +189,16 @@ func NewMachine(opts MachineOptions) (*Machine, error) {
 	}
 	return m, nil
 }
+
+// Defense returns the spec the machine was assembled from.
+func (m *Machine) Defense() *DefenseSpec { return m.defense }
+
+// DefenseName returns the registry name of the machine's defense.
+func (m *Machine) DefenseName() string { return m.defense.Name }
+
+// Instrumented reports whether the machine runs the EILID-instrumented
+// build with the secure ROM loaded.
+func (m *Machine) Instrumented() bool { return m.defense.Instrumented }
 
 // LoadFirmware programs an application image into memory (the flashing
 // step before boot; not subject to run-time immutability).

@@ -11,13 +11,12 @@ import (
 
 // runInspected runs one build variant of an app with or without the
 // predecode cache and returns the observable outcome.
-func runInspected(t *testing.T, p *core.Pipeline, app apps.App, build *core.BuildResult, protected, predecode bool) *apps.Inspection {
+func runInspected(t *testing.T, p *core.Pipeline, app apps.App, build *core.BuildResult, spec *core.DefenseSpec, predecode bool) *apps.Inspection {
 	t.Helper()
-	opts := core.MachineOptions{Config: p.Config()}
+	opts := core.MachineOptions{Config: p.Config(), Defense: spec}
 	img := build.Original.Image
-	if protected {
+	if spec.Instrumented {
 		opts.ROM = p.ROM()
-		opts.Protected = true
 		img = build.Instrumented.Image
 	}
 	m, err := core.NewMachine(opts)
@@ -38,7 +37,7 @@ func runInspected(t *testing.T, p *core.Pipeline, app apps.App, build *core.Buil
 	m.Boot()
 	res, err := m.Run(app.MaxCycles)
 	if err != nil {
-		t.Fatalf("predecode=%v protected=%v: %v", predecode, protected, err)
+		t.Fatalf("predecode=%v defense=%s: %v", predecode, spec.Name, err)
 	}
 	return apps.Inspect(m, res)
 }
@@ -60,20 +59,20 @@ func TestPredecodeDifferential(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, protected := range []bool{false, true} {
-				off := runInspected(t, p, app, build, protected, false)
-				on := runInspected(t, p, app, build, protected, true)
+			for _, spec := range core.Defenses() {
+				off := runInspected(t, p, app, build, spec, false)
+				on := runInspected(t, p, app, build, spec, true)
 				if off.Cycles != on.Cycles {
-					t.Errorf("protected=%v: cycles %d (cache off) vs %d (cache on)", protected, off.Cycles, on.Cycles)
+					t.Errorf("defense=%s: cycles %d (cache off) vs %d (cache on)", spec.Name, off.Cycles, on.Cycles)
 				}
 				if off.Insns != on.Insns {
-					t.Errorf("protected=%v: insns %d vs %d", protected, off.Insns, on.Insns)
+					t.Errorf("defense=%s: insns %d vs %d", spec.Name, off.Insns, on.Insns)
 				}
 				if off.Resets != on.Resets {
-					t.Errorf("protected=%v: resets %d vs %d", protected, off.Resets, on.Resets)
+					t.Errorf("defense=%s: resets %d vs %d", spec.Name, off.Resets, on.Resets)
 				}
 				if err := apps.Equivalent(off, on); err != nil {
-					t.Errorf("protected=%v: observable behaviour diverged: %v", protected, err)
+					t.Errorf("defense=%s: observable behaviour diverged: %v", spec.Name, err)
 				}
 			}
 		})
@@ -211,7 +210,7 @@ func TestPredecodeSharedAcrossMachines(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ref, err := core.NewMachine(core.MachineOptions{Config: p.Config(), ROM: p.ROM(), Protected: true})
+	ref, err := core.NewMachine(core.MachineOptions{Config: p.Config(), ROM: p.ROM(), Defense: core.DefenseEILID})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,8 +219,8 @@ func TestPredecodeSharedAcrossMachines(t *testing.T) {
 	}
 	pre := ref.EnablePredecode()
 
-	baseline := runInspected(t, p, app, build, true, false)
-	m, err := core.NewMachine(core.MachineOptions{Config: p.Config(), ROM: p.ROM(), Protected: true})
+	baseline := runInspected(t, p, app, build, core.DefenseEILID, false)
+	m, err := core.NewMachine(core.MachineOptions{Config: p.Config(), ROM: p.ROM(), Defense: core.DefenseEILID})
 	if err != nil {
 		t.Fatal(err)
 	}

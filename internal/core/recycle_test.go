@@ -14,13 +14,12 @@ import (
 // newLoadedMachine constructs a machine for one app build variant with
 // the firmware loaded and a decode cache installed — the state the
 // fleet seals with Snapshot before the first job.
-func newLoadedMachine(t *testing.T, p *core.Pipeline, build *core.BuildResult, protected bool) *core.Machine {
+func newLoadedMachine(t *testing.T, p *core.Pipeline, build *core.BuildResult, spec *core.DefenseSpec) *core.Machine {
 	t.Helper()
-	opts := core.MachineOptions{Config: p.Config()}
+	opts := core.MachineOptions{Config: p.Config(), Defense: spec}
 	img := build.Original.Image
-	if protected {
+	if spec.Instrumented {
 		opts.ROM = p.ROM()
-		opts.Protected = true
 		img = build.Instrumented.Image
 	}
 	m, err := core.NewMachine(opts)
@@ -61,7 +60,7 @@ func observeOn(t *testing.T, m *core.Machine, base cpu.Watcher, app apps.App) (o
 }
 
 // TestRecycleDifferential is the machine-level recycling contract: for
-// every Table IV application on both device variants, a machine sealed
+// every Table IV application under every registered defense, a machine sealed
 // with Snapshot and recycled with Recycle reproduces a fresh machine's
 // run exactly — cycles, instruction counts, bus errors, the full
 // watcher event stream, interrupt arrival cycles, reset reasons, the
@@ -79,15 +78,15 @@ func TestRecycleDifferential(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, protected := range []bool{false, true} {
-				what := fmt.Sprintf("%s protected=%v", app.Name, protected)
-				m := newLoadedMachine(t, p, build, protected)
+			for _, spec := range core.Defenses() {
+				what := fmt.Sprintf("%s defense=%s", app.Name, spec.Name)
+				m := newLoadedMachine(t, p, build, spec)
 				base := m.CPU.Watch
 				m.Snapshot()
 				fresh, freshR := observeOn(t, m, base, app)
 				// The sealed-and-run machine must itself match an
 				// untouched fresh machine (Snapshot perturbs nothing).
-				ref := runObserved(t, p, app, build, protected, nil)
+				ref := runObserved(t, p, app, build, spec, nil)
 				compareObserved(t, what+" sealed-vs-plain", fresh, ref)
 				for round := 1; round <= 2; round++ {
 					if err := m.Recycle(); err != nil {
@@ -132,9 +131,9 @@ func TestRecycleDifferentialUnwatched(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, protected := range []bool{false, true} {
-				what := fmt.Sprintf("%s protected=%v", app.Name, protected)
-				m := newLoadedMachine(t, p, build, protected)
+			for _, spec := range core.Defenses() {
+				what := fmt.Sprintf("%s defense=%s", app.Name, spec.Name)
+				m := newLoadedMachine(t, p, build, spec)
 				m.Snapshot()
 				fRes, fR, fBE, fInsp := run(m, app)
 				if err := m.Recycle(); err != nil {
@@ -185,7 +184,7 @@ spin:
 		t.Fatal(err)
 	}
 	const budget = 100_000
-	m, err := core.NewMachine(core.MachineOptions{Config: p.Config(), ROM: p.ROM(), Protected: true})
+	m, err := core.NewMachine(core.MachineOptions{Config: p.Config(), ROM: p.ROM(), Defense: core.DefenseEILID})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -169,11 +169,11 @@ func measureApp(p *core.Pipeline, app apps.App, iters int) (TableIVRow, error) {
 	row.Sites = build.Stats.Sites()
 
 	// Run time.
-	orig, err := runApp(p, app, build, false)
+	orig, err := runApp(p, app, build, core.DefenseBaseline)
 	if err != nil {
 		return row, err
 	}
-	inst, err := runApp(p, app, build, true)
+	inst, err := runApp(p, app, build, core.DefenseEILID)
 	if err != nil {
 		return row, err
 	}
@@ -188,11 +188,11 @@ func measureApp(p *core.Pipeline, app apps.App, iters int) (TableIVRow, error) {
 	return row, nil
 }
 
-func runApp(p *core.Pipeline, app apps.App, build *core.BuildResult, protected bool) (*apps.Inspection, error) {
+func runApp(p *core.Pipeline, app apps.App, build *core.BuildResult, spec *core.DefenseSpec) (*apps.Inspection, error) {
 	// One shared run sequence with the fleet jobs (machine setup,
 	// decode cache, UART feed, boot, run, inspect), so the Table IV and
 	// fleet paths cannot drift apart.
-	insp, _, err := fleet.ExecuteApp(p, app, build, protected, nil)
+	insp, _, err := fleet.ExecuteApp(p, app, build, spec, nil)
 	if err != nil {
 		return nil, err
 	}

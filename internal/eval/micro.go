@@ -58,7 +58,7 @@ func MeasureMicro(p *core.Pipeline) (MicroOverhead, error) {
 		return MicroOverhead{}, err
 	}
 	m, err := core.NewMachine(core.MachineOptions{
-		Config: p.Config(), ROM: p.ROM(), Protected: true,
+		Config: p.Config(), ROM: p.ROM(), Defense: core.DefenseEILID,
 	})
 	if err != nil {
 		return MicroOverhead{}, err

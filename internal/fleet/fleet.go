@@ -1,5 +1,5 @@
 // Package fleet is the fleet-scale simulation subsystem: it executes a
-// matrix of (application × variant × attack-scenario) jobs concurrently
+// matrix of (application × defense × attack-scenario) jobs concurrently
 // on independent core.Machine instances while sharing the expensive
 // read-only build artifacts — each firmware is assembled and
 // instrumented exactly once via core.Pipeline, and its predecoded
@@ -28,21 +28,6 @@ import (
 	"eilid/internal/scenario"
 )
 
-// Variant names a device build flavour.
-type Variant string
-
-const (
-	// VariantBaseline is the unprotected device running the original
-	// (uninstrumented) build.
-	VariantBaseline Variant = "baseline"
-	// VariantProtected is the CASU/EILID device running the
-	// instrumented build.
-	VariantProtected Variant = "protected"
-)
-
-// Variants returns both flavours in canonical order.
-func Variants() []Variant { return []Variant{VariantBaseline, VariantProtected} }
-
 // Spec selects the job matrix.
 type Spec struct {
 	// Apps restricts the Table IV applications by name (nil = all).
@@ -53,8 +38,9 @@ type Spec struct {
 	// NoApps / NoScenarios drop a whole dimension.
 	NoApps      bool
 	NoScenarios bool
-	// Variants restricts the device flavours (nil = both).
-	Variants []Variant
+	// Defenses restricts the defense columns by registry name (nil =
+	// every registered defense, in core.Defenses order).
+	Defenses []string
 	// Repeat runs every job this many times (default 1); repeats are
 	// distinct jobs, so determinism is checked across them too.
 	Repeat int
@@ -71,8 +57,8 @@ type Spec struct {
 
 // GeneratedSpec adds a third matrix dimension of seed-derived attack
 // variants (internal/scenario): Count scenarios generated from Seed,
-// each run on both device variants. Generation is deterministic, so the
-// dimension inherits the fleet's byte-identical-results contract.
+// each run on every selected defense. Generation is deterministic, so
+// the dimension inherits the fleet's byte-identical-results contract.
 type GeneratedSpec struct {
 	Seed  uint64
 	Count int
@@ -80,11 +66,12 @@ type GeneratedSpec struct {
 
 // Job is one cell of the matrix.
 type Job struct {
-	Index   int     `json:"index"`
-	Kind    string  `json:"kind"` // "app", "attack" or "gen"
-	Name    string  `json:"name"`
-	Variant Variant `json:"variant"`
-	Repeat  int     `json:"repeat"`
+	Index int    `json:"index"`
+	Kind  string `json:"kind"` // "app", "attack" or "gen"
+	Name  string `json:"name"`
+	// Defense is the registry name of the job's defense column.
+	Defense string `json:"defense"`
+	Repeat  int    `json:"repeat"`
 	// Family and Victim describe generated jobs: the generator family
 	// and the shared victim build the scenario runs on.
 	Family string `json:"family,omitempty"`
@@ -116,19 +103,21 @@ type JobResult struct {
 }
 
 // artifact is the shared read-only build product for one firmware:
-// assembled images plus one predecoded instruction cache per variant.
+// assembled images plus one predecoded instruction cache per build
+// flavour (instrumented defenses share preInst, all others preOrig —
+// their memory contents are byte-identical).
 type artifact struct {
 	build   *core.BuildResult
-	preBase *isa.Predecoded
-	preProt *isa.Predecoded
+	preOrig *isa.Predecoded
+	preInst *isa.Predecoded
 }
 
-// pre returns the decode cache for a variant.
-func (a *artifact) pre(v Variant) *isa.Predecoded {
-	if v == VariantProtected {
-		return a.preProt
+// pre returns the decode cache for a defense's build flavour.
+func (a *artifact) pre(spec *core.DefenseSpec) *isa.Predecoded {
+	if spec.Instrumented {
+		return a.preInst
 	}
-	return a.preBase
+	return a.preOrig
 }
 
 // Runner holds a prepared matrix: every firmware built, every decode
@@ -139,7 +128,9 @@ type Runner struct {
 	p         *core.Pipeline
 	apps      []apps.App
 	scenarios []attacks.Scenario
-	artifacts map[string]*artifact // keyed by kind/name (gen jobs: gen/victim)
+	defenses  []*core.DefenseSpec
+	specOf    map[string]*core.DefenseSpec // defense name → spec
+	artifacts map[string]*artifact         // keyed by kind/name (gen jobs: gen/victim)
 	generated map[string]scenario.Generated
 	jobs      []Job
 	workers   int
@@ -151,7 +142,7 @@ type Runner struct {
 	// leaks between jobs because Recycle restores the sealed snapshot —
 	// the recycle differential suites pin byte-identical JobResults.
 	recycle  bool
-	machines []map[string]*core.Machine // per worker: kind/name/variant → machine
+	machines []map[string]*core.Machine // per worker: kind/name/defense → machine
 }
 
 // NewRunner builds all artifacts for the matrix selected by spec
@@ -164,9 +155,20 @@ func NewRunner(p *core.Pipeline, spec Spec) (*Runner, error) {
 	}
 	r.recycle = !spec.NoRecycle
 	r.machines = make([]map[string]*core.Machine, r.workers)
-	variants := spec.Variants
-	if variants == nil {
-		variants = Variants()
+	if spec.Defenses == nil {
+		r.defenses = core.Defenses()
+	} else {
+		for _, name := range spec.Defenses {
+			d, err := core.DefenseByName(name)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: %w", err)
+			}
+			r.defenses = append(r.defenses, d)
+		}
+	}
+	r.specOf = make(map[string]*core.DefenseSpec, len(r.defenses))
+	for _, d := range r.defenses {
+		r.specOf[d.Name] = d
 	}
 	repeat := spec.Repeat
 	if repeat <= 0 {
@@ -215,24 +217,24 @@ func NewRunner(p *core.Pipeline, spec Spec) (*Runner, error) {
 
 	for rep := 0; rep < repeat; rep++ {
 		for _, app := range r.apps {
-			for _, v := range variants {
+			for _, d := range r.defenses {
 				r.jobs = append(r.jobs, Job{
-					Index: len(r.jobs), Kind: "app", Name: app.Name, Variant: v, Repeat: rep,
+					Index: len(r.jobs), Kind: "app", Name: app.Name, Defense: d.Name, Repeat: rep,
 				})
 			}
 		}
 		for _, sc := range r.scenarios {
-			for _, v := range variants {
+			for _, d := range r.defenses {
 				r.jobs = append(r.jobs, Job{
-					Index: len(r.jobs), Kind: "attack", Name: sc.Name, Variant: v, Repeat: rep,
+					Index: len(r.jobs), Kind: "attack", Name: sc.Name, Defense: d.Name, Repeat: rep,
 				})
 			}
 		}
 		for _, g := range genItems {
-			for _, v := range variants {
+			for _, d := range r.defenses {
 				r.jobs = append(r.jobs, Job{
 					Index: len(r.jobs), Kind: "gen", Name: g.Scenario.Name,
-					Family: g.Family, Victim: g.Victim, Variant: v, Repeat: rep,
+					Family: g.Family, Victim: g.Victim, Defense: d.Name, Repeat: rep,
 				})
 			}
 		}
@@ -240,9 +242,15 @@ func NewRunner(p *core.Pipeline, spec Spec) (*Runner, error) {
 	return r, nil
 }
 
-// prepare builds one firmware and snapshots its per-variant decode
+// Defenses returns the selected defense columns in matrix order.
+func (r *Runner) Defenses() []*core.DefenseSpec {
+	return append([]*core.DefenseSpec(nil), r.defenses...)
+}
+
+// prepare builds one firmware and snapshots its per-flavour decode
 // caches from reference machines carrying the exact images the jobs
-// will run.
+// will run. Both flavours are snapshotted regardless of the selected
+// defenses, so artifacts are identical whatever columns run.
 func (r *Runner) prepare(key, file, source string) (*artifact, error) {
 	if a, ok := r.artifacts[key]; ok {
 		return a, nil
@@ -252,23 +260,23 @@ func (r *Runner) prepare(key, file, source string) (*artifact, error) {
 		return nil, err
 	}
 	a := &artifact{build: build}
-	if a.preBase, err = r.snapshot(build.Original.Image, false); err != nil {
+	if a.preOrig, err = r.snapshot(build.Original.Image, false); err != nil {
 		return nil, err
 	}
-	if a.preProt, err = r.snapshot(build.Instrumented.Image, true); err != nil {
+	if a.preInst, err = r.snapshot(build.Instrumented.Image, true); err != nil {
 		return nil, err
 	}
 	r.artifacts[key] = a
 	return a, nil
 }
 
-// snapshot loads img on a throwaway machine of the given variant and
-// predecodes its fetchable memory.
-func (r *Runner) snapshot(img *asm.Image, protected bool) (*isa.Predecoded, error) {
+// snapshot loads img on a throwaway machine of the given build flavour
+// and predecodes its fetchable memory.
+func (r *Runner) snapshot(img *asm.Image, instrumented bool) (*isa.Predecoded, error) {
 	opts := core.MachineOptions{Config: r.p.Config()}
-	if protected {
+	if instrumented {
 		opts.ROM = r.p.ROM()
-		opts.Protected = true
+		opts.Defense = core.DefenseEILID
 	}
 	m, err := core.NewMachine(opts)
 	if err != nil {
@@ -350,17 +358,12 @@ func (r *Runner) runJob(worker, i int) JobResult {
 }
 
 // newMachine constructs a fresh, fully loaded machine for one matrix
-// cell — variant options, firmware image, shared per-ROM decode cache —
+// cell — defense wiring, firmware image, shared per-ROM decode cache —
 // through the same attacks.Target.NewMachine sequence the standalone
 // scenario path uses, so pooled and one-shot machines cannot diverge.
-func (r *Runner) newMachine(a *artifact, v Variant) (*core.Machine, error) {
-	t := attacks.Target{Config: r.p.Config(), Image: a.build.Original.Image}
-	if v == VariantProtected {
-		t.ROM = r.p.ROM()
-		t.Protected = true
-		t.Image = a.build.Instrumented.Image
-	}
-	t.Predecoded = a.pre(v)
+func (r *Runner) newMachine(a *artifact, spec *core.DefenseSpec) (*core.Machine, error) {
+	t := attacks.TargetFor(r.p, a.build, spec)
+	t.Predecoded = a.pre(spec)
 	return t.NewMachine()
 }
 
@@ -377,15 +380,21 @@ func artifactKey(job Job) string {
 // machineFor hands the worker a machine for the cell: the worker's
 // pooled one, recycled back to its sealed snapshot, or — on the cell's
 // first job on this worker, or with recycling off — a fresh build.
+// Machines are pooled per (artifact, defense): a defense monitor is
+// stateful hardware, never shared across columns.
 func (r *Runner) machineFor(worker int, job Job) (*core.Machine, error) {
 	a := r.artifacts[artifactKey(job)]
 	if a == nil {
 		return nil, fmt.Errorf("fleet: no artifact for %s", artifactKey(job))
 	}
-	if !r.recycle {
-		return r.newMachine(a, job.Variant)
+	spec := r.specOf[job.Defense]
+	if spec == nil {
+		return nil, fmt.Errorf("fleet: job %d names unselected defense %q", job.Index, job.Defense)
 	}
-	key := artifactKey(job) + "/" + string(job.Variant)
+	if !r.recycle {
+		return r.newMachine(a, spec)
+	}
+	key := artifactKey(job) + "/" + job.Defense
 	cache := r.machines[worker]
 	if cache == nil {
 		cache = map[string]*core.Machine{}
@@ -397,7 +406,7 @@ func (r *Runner) machineFor(worker int, job Job) (*core.Machine, error) {
 		}
 		return m, nil
 	}
-	m, err := r.newMachine(a, job.Variant)
+	m, err := r.newMachine(a, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -406,20 +415,22 @@ func (r *Runner) machineFor(worker int, job Job) (*core.Machine, error) {
 	return m, nil
 }
 
-// ExecuteApp runs one application build variant on a fresh machine and
-// returns the observable inspection plus the first reset reason (empty
-// when none). pre optionally shares a decode cache built from the same
-// image; nil snapshots a private one. A non-nil error with a non-nil
-// inspection is a run error (e.g. cycle-budget exhaustion) after which
-// the partial observables are still meaningful. This is the one
-// app-run sequence both the fleet jobs and eval's Table IV measurement
-// go through.
-func ExecuteApp(p *core.Pipeline, app apps.App, build *core.BuildResult, protected bool, pre *isa.Predecoded) (*apps.Inspection, string, error) {
-	opts := core.MachineOptions{Config: p.Config()}
+// ExecuteApp runs one application build under the given defense on a
+// fresh machine and returns the observable inspection plus the first
+// reset reason (empty when none). pre optionally shares a decode cache
+// built from the same image; nil snapshots a private one. A non-nil
+// error with a non-nil inspection is a run error (e.g. cycle-budget
+// exhaustion) after which the partial observables are still meaningful.
+// This is the one app-run sequence both the fleet jobs and eval's
+// Table IV measurement go through.
+func ExecuteApp(p *core.Pipeline, app apps.App, build *core.BuildResult, spec *core.DefenseSpec, pre *isa.Predecoded) (*apps.Inspection, string, error) {
+	if spec == nil {
+		spec = core.DefenseBaseline
+	}
+	opts := core.MachineOptions{Config: p.Config(), Defense: spec}
 	img := build.Original.Image
-	if protected {
+	if spec.Instrumented {
 		opts.ROM = p.ROM()
-		opts.Protected = true
 		img = build.Instrumented.Image
 	}
 	m, err := core.NewMachine(opts)
@@ -511,12 +522,21 @@ func (r *Runner) runAttackJob(worker int, job Job) JobResult {
 		return res
 	}
 	res.fillOutcome(o)
-	// For an attack job the "check" is the defence matrix cell: the
-	// baseline must fall, the protected device must reset un-compromised.
-	if job.Variant == VariantProtected {
-		res.CheckOK = !o.Compromised && o.Resets > 0
-	} else {
+	// The check depends on the defense column. The baseline must fall
+	// (demonstrating the threat is real) and EILID — the paper's defense,
+	// whose claims cover every handcrafted attack — must reset
+	// un-compromised. The comparative defenses are allowed to miss: their
+	// detection or compromise is the matrix cell itself, so the check
+	// only demands architectural sanity (any reset reason must be one the
+	// defense can emit).
+	spec := r.specOf[job.Defense]
+	switch {
+	case spec.New == nil:
 		res.CheckOK = o.Compromised
+	case spec.Name == core.DefenseEILID.Name:
+		res.CheckOK = !o.Compromised && o.Resets > 0
+	default:
+		res.CheckOK = o.Resets == 0 || spec.EmitsReason(o.Reason)
 	}
 	return res
 }
@@ -535,7 +555,7 @@ func (res *JobResult) fillOutcome(o attacks.Outcome) {
 }
 
 // executeScenario runs a scenario for the job's matrix cell: shared
-// build artifact, variant target with the per-ROM decode cache, pooled
+// build artifact, defense target with the per-ROM decode cache, pooled
 // (or fresh) machine. Handcrafted attack jobs and generated jobs both
 // go through it, so the two kinds cannot diverge in target preparation
 // or machine lifecycle.
@@ -544,12 +564,12 @@ func (r *Runner) executeScenario(worker int, job Job, sc attacks.Scenario) (atta
 	if a == nil {
 		return attacks.Outcome{}, fmt.Errorf("no artifact for %s", artifactKey(job))
 	}
-	baseT, protT := attacks.TargetsFor(r.p, a.build)
-	t := baseT
-	if job.Variant == VariantProtected {
-		t = protT
+	spec := r.specOf[job.Defense]
+	if spec == nil {
+		return attacks.Outcome{}, fmt.Errorf("job %d names unselected defense %q", job.Index, job.Defense)
 	}
-	t.Predecoded = a.pre(job.Variant)
+	t := attacks.TargetFor(r.p, a.build, spec)
+	t.Predecoded = a.pre(spec)
 
 	m, err := r.machineFor(worker, job)
 	if err != nil {
@@ -559,10 +579,11 @@ func (r *Runner) executeScenario(worker int, job Job, sc attacks.Scenario) (atta
 }
 
 // runGenJob executes one generated scenario variant. The check is the
-// generator's oracle: the protected device must uphold EILID's
-// guarantee (never compromised, plausible reset reasons); the baseline
-// outcome is recorded purely as a diagnostic — many generated variants
-// are deliberate near-misses that fizzle everywhere.
+// generator's per-defense oracle (scenario.Generated.Check): EILID must
+// uphold the paper's guarantee, the comparative defenses must only
+// reset for reasons they can emit, and the baseline is recorded purely
+// as a diagnostic — many generated variants are deliberate near-misses
+// that fizzle everywhere.
 func (r *Runner) runGenJob(worker int, job Job) JobResult {
 	res := JobResult{Job: job}
 	g, ok := r.generated[job.Name]
@@ -576,12 +597,8 @@ func (r *Runner) runGenJob(worker int, job Job) JobResult {
 		return res
 	}
 	res.fillOutcome(o)
-	if job.Variant == VariantProtected {
-		res.Oracle = g.CheckProtected(o)
-		res.CheckOK = res.Oracle == ""
-	} else {
-		res.CheckOK = true
-	}
+	res.Oracle = g.Check(r.specOf[job.Defense], o)
+	res.CheckOK = res.Oracle == ""
 	return res
 }
 

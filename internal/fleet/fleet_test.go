@@ -18,7 +18,7 @@ func newPipeline(t *testing.T) *core.Pipeline {
 }
 
 // TestFleetDeterminism is the acceptance property of the runner: the
-// full app × variant × scenario matrix on 8 workers produces per-job
+// full app × defense × scenario matrix on 8 workers produces per-job
 // results byte-identical to a sequential run of the same matrix.
 func TestFleetDeterminism(t *testing.T) {
 	p := newPipeline(t)
@@ -71,7 +71,7 @@ func TestFleetRepeatsIdentical(t *testing.T) {
 	}
 	perCell := map[string]JobResult{}
 	for _, jr := range rep.Results {
-		key := jr.Kind + "/" + jr.Name + "/" + string(jr.Variant)
+		key := jr.Kind + "/" + jr.Name + "/" + jr.Defense
 		ref, ok := perCell[key]
 		if !ok {
 			perCell[key] = jr
@@ -87,8 +87,8 @@ func TestFleetRepeatsIdentical(t *testing.T) {
 }
 
 // TestFleetMatrixOutcomes sanity-checks the semantic content of the
-// matrix: benign apps pass their behaviour checks on both variants, and
-// every attack compromises the baseline while the protected device
+// matrix: benign apps pass their behaviour checks under every defense,
+// and every attack compromises the baseline while the EILID device
 // resets without running attacker code.
 func TestFleetMatrixOutcomes(t *testing.T) {
 	p := newPipeline(t)
@@ -103,7 +103,7 @@ func TestFleetMatrixOutcomes(t *testing.T) {
 	if rep.Failures != 0 {
 		for _, jr := range rep.Results {
 			if jr.Err != "" {
-				t.Errorf("job %d (%s/%s/%s): %s", jr.Index, jr.Kind, jr.Name, jr.Variant, jr.Err)
+				t.Errorf("job %d (%s/%s/%s): %s", jr.Index, jr.Kind, jr.Name, jr.Defense, jr.Err)
 			}
 		}
 		t.Fatalf("%d job failures", rep.Failures)
@@ -111,10 +111,10 @@ func TestFleetMatrixOutcomes(t *testing.T) {
 	for _, jr := range rep.Results {
 		if !jr.CheckOK {
 			t.Errorf("job %d (%s/%s/%s) failed its check (resets=%d reason=%q compromised=%v)",
-				jr.Index, jr.Kind, jr.Name, jr.Variant, jr.Resets, jr.Reason, jr.Compromised)
+				jr.Index, jr.Kind, jr.Name, jr.Defense, jr.Resets, jr.Reason, jr.Compromised)
 		}
-		if jr.Kind == "attack" && jr.Variant == VariantProtected && jr.Compromised {
-			t.Errorf("attack %s compromised the protected device", jr.Name)
+		if jr.Kind == "attack" && jr.Defense == core.DefenseEILID.Name && jr.Compromised {
+			t.Errorf("attack %s compromised the EILID device", jr.Name)
 		}
 	}
 	if rep.TotalCycles == 0 || rep.TotalInsns == 0 {
@@ -131,14 +131,18 @@ func TestFleetSpecSelection(t *testing.T) {
 	if _, err := NewRunner(p, Spec{Scenarios: []string{"no-such-attack"}}); err == nil {
 		t.Fatal("unknown scenario accepted")
 	}
+	if _, err := NewRunner(p, Spec{Defenses: []string{"no-such-defense"}}); err == nil {
+		t.Fatal("unknown defense accepted")
+	}
 	r, err := NewRunner(p, Spec{
 		Apps: []string{"LightSensor"}, Scenarios: []string{"stack-smash"}, Workers: 2,
+		Defenses: []string{"baseline", "eilid"},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	jobs := r.Jobs()
-	if len(jobs) != 4 { // 1 app × 2 variants + 1 scenario × 2 variants
+	if len(jobs) != 4 { // 1 app × 2 defenses + 1 scenario × 2 defenses
 		t.Fatalf("got %d jobs, want 4", len(jobs))
 	}
 	rep, err := r.Run()
@@ -147,7 +151,7 @@ func TestFleetSpecSelection(t *testing.T) {
 	}
 	var buf strings.Builder
 	rep.Render(&buf)
-	for _, want := range []string{"LightSensor", "stack-smash", "baseline", "protected"} {
+	for _, want := range []string{"LightSensor", "stack-smash", "baseline", "eilid", "detection matrix"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("rendered report missing %q:\n%s", want, buf.String())
 		}

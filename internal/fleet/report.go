@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"time"
+
+	"eilid/internal/core"
 )
 
 // Report aggregates one fleet run. Results is ordered by job index and
@@ -21,18 +24,28 @@ type Report struct {
 	WallMS        float64 `json:"wall_ms"`
 	MCyclesPerSec float64 `json:"sim_mcycles_per_sec"`
 
-	// The generated-dimension diagnostics: how many generated jobs ran
-	// per variant and how many ended compromised. The protected count
-	// must be zero (each compromise is also a failed check); the
-	// baseline rate measures how sharp the generated inputs are.
-	GenProtected            int `json:"gen_protected,omitempty"`
-	GenProtectedCompromised int `json:"gen_protected_compromised,omitempty"`
-	GenBaseline             int `json:"gen_baseline,omitempty"`
-	GenBaselineCompromised  int `json:"gen_baseline_compromised,omitempty"`
+	// Matrix is the defense × attack detection matrix: for every attack
+	// row (a handcrafted scenario's name, or a generated job's family)
+	// and defense column, how many jobs ran, how many the defense
+	// detected (reset on) and how many ended with the attacker executing
+	// code. App jobs and errored jobs are excluded. Go's JSON encoder
+	// sorts map keys, so the marshalled matrix is deterministic.
+	Matrix map[string]map[string]*MatrixCell `json:"matrix,omitempty"`
 
 	// Results is ordered by job index; nil on streamed runs, whose
 	// per-job results were delivered incrementally instead of retained.
 	Results []JobResult `json:"results,omitempty"`
+}
+
+// MatrixCell aggregates one (attack row, defense column) cell.
+type MatrixCell struct {
+	// Jobs is how many jobs landed in the cell.
+	Jobs int `json:"jobs"`
+	// Detected counts jobs on which the defense reset the device at
+	// least once.
+	Detected int `json:"detected"`
+	// Compromised counts jobs on which attacker code executed.
+	Compromised int `json:"compromised"`
 }
 
 // add folds one job result into the aggregate counters (not Results).
@@ -40,17 +53,30 @@ func (r *Report) add(jr JobResult) {
 	r.Jobs++
 	r.TotalCycles += jr.Cycles
 	r.TotalInsns += jr.Insns
-	if jr.Kind == "gen" && jr.Err == "" {
-		if jr.Variant == VariantProtected {
-			r.GenProtected++
-			if jr.Compromised {
-				r.GenProtectedCompromised++
-			}
-		} else {
-			r.GenBaseline++
-			if jr.Compromised {
-				r.GenBaselineCompromised++
-			}
+	if jr.Err == "" && (jr.Kind == "attack" || jr.Kind == "gen") {
+		row := jr.Name
+		if jr.Kind == "gen" {
+			row = jr.Family
+		}
+		if r.Matrix == nil {
+			r.Matrix = map[string]map[string]*MatrixCell{}
+		}
+		col := r.Matrix[row]
+		if col == nil {
+			col = map[string]*MatrixCell{}
+			r.Matrix[row] = col
+		}
+		cell := col[jr.Defense]
+		if cell == nil {
+			cell = &MatrixCell{}
+			col[jr.Defense] = cell
+		}
+		cell.Jobs++
+		if jr.Resets > 0 {
+			cell.Detected++
+		}
+		if jr.Compromised {
+			cell.Compromised++
 		}
 	}
 	switch {
@@ -99,7 +125,7 @@ func (r *Report) WriteJSON(w io.Writer) error {
 // streaming CLI emits rows as jobs finish, so the header comes first).
 func RenderTableHeader(w io.Writer) {
 	fmt.Fprintf(w, "%-5s %-7s %-22s %-10s %12s %10s %7s %-6s %s\n",
-		"idx", "kind", "name", "variant", "cycles", "insns", "resets", "check", "note")
+		"idx", "kind", "name", "defense", "cycles", "insns", "resets", "check", "note")
 }
 
 // RenderRow writes one job's table row.
@@ -118,17 +144,76 @@ func (jr JobResult) RenderRow(w io.Writer) {
 		check = "FAIL"
 	}
 	fmt.Fprintf(w, "%-5d %-7s %-22s %-10s %12d %10d %7d %-6s %s\n",
-		jr.Index, jr.Kind, jr.Name, jr.Variant, jr.Cycles, jr.Insns, jr.Resets, check, note)
+		jr.Index, jr.Kind, jr.Name, jr.Defense, jr.Cycles, jr.Insns, jr.Resets, check, note)
+}
+
+// matrixColumns returns the defense columns present in the matrix:
+// registry order first, then any unregistered names sorted.
+func (r *Report) matrixColumns() []string {
+	present := map[string]bool{}
+	for _, col := range r.Matrix {
+		for name := range col {
+			present[name] = true
+		}
+	}
+	var out []string
+	for _, name := range core.DefenseNames() {
+		if present[name] {
+			out = append(out, name)
+			delete(present, name)
+		}
+	}
+	var rest []string
+	for name := range present {
+		rest = append(rest, name)
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+// RenderMatrix writes the defense × attack detection matrix: one row
+// per attack (scenario name or generated family), one column per
+// defense, each cell detected/jobs with a trailing * when attacker code
+// executed on that defense at least once.
+func (r *Report) RenderMatrix(w io.Writer) {
+	if len(r.Matrix) == 0 {
+		return
+	}
+	cols := r.matrixColumns()
+	rows := make([]string, 0, len(r.Matrix))
+	for row := range r.Matrix {
+		rows = append(rows, row)
+	}
+	sort.Strings(rows)
+	fmt.Fprintf(w, "detection matrix (detected/jobs, * = compromised):\n")
+	fmt.Fprintf(w, "%-22s", "attack")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %10s", c)
+	}
+	fmt.Fprintln(w)
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-22s", row)
+		for _, c := range cols {
+			cell := r.Matrix[row][c]
+			if cell == nil {
+				fmt.Fprintf(w, " %10s", "-")
+				continue
+			}
+			s := fmt.Sprintf("%d/%d", cell.Detected, cell.Jobs)
+			if cell.Compromised > 0 {
+				s += "*"
+			}
+			fmt.Fprintf(w, " %10s", s)
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // RenderSummary writes the aggregate lines of the report.
 func (r *Report) RenderSummary(w io.Writer) {
 	fmt.Fprintf(w, "fleet: %d jobs on %d workers in %.1f ms (%.2f simMcycles/s)\n",
 		r.Jobs, r.Workers, r.WallMS, r.MCyclesPerSec)
-	if r.GenProtected+r.GenBaseline > 0 {
-		fmt.Fprintf(w, "generated: %d protected jobs (%d compromised), baseline compromised %d/%d\n",
-			r.GenProtected, r.GenProtectedCompromised, r.GenBaselineCompromised, r.GenBaseline)
-	}
+	r.RenderMatrix(w)
 	fmt.Fprintf(w, "totals: %d cycles, %d insns, %d failures, %d check failures\n",
 		r.TotalCycles, r.TotalInsns, r.Failures, r.ChecksFailed)
 }
@@ -141,6 +226,7 @@ func (r *Report) Render(w io.Writer) {
 	for _, jr := range r.Results {
 		jr.RenderRow(w)
 	}
+	r.RenderMatrix(w)
 	fmt.Fprintf(w, "totals: %d cycles, %d insns, %d failures, %d check failures\n",
 		r.TotalCycles, r.TotalInsns, r.Failures, r.ChecksFailed)
 }

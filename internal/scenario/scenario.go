@@ -100,21 +100,53 @@ func (g Generated) CheckProtected(o attacks.Outcome) string {
 	return ""
 }
 
-// plausibleReasons is every violation kind the CASU/EILID hardware can
+// plausibleReasons is every violation kind any registered defense can
 // report. A reset whose reason falls outside this set means the
 // simulated hardware misbehaved, not that an attack variant was
 // stopped.
 var plausibleReasons = func() map[string]bool {
 	out := map[string]bool{}
-	for k := casu.ViolationPMEMWrite; k <= casu.ViolationIRQInSecure; k++ {
+	for _, k := range casu.ViolationKinds() {
 		out[k.String()] = true
 	}
 	return out
 }()
 
-// PlausibleReason reports whether reason is a violation kind the
+// PlausibleReason reports whether reason is a violation kind some
 // hardware monitor can actually produce.
 func PlausibleReason(reason string) bool { return plausibleReasons[reason] }
+
+// Check is the per-defense oracle. Every monitored defense must only
+// ever reset for a reason it can architecturally emit; on top of that,
+// EILID — the paper's defense, whose security argument is universal —
+// must uphold the full CheckProtected contract (no compromise, demanded
+// resets, allowed reasons). The comparative defenses (shadow, critvar)
+// and the baseline are allowed to miss attacks: a compromise there is a
+// matrix cell, not a harness failure.
+func (g Generated) Check(spec *core.DefenseSpec, o attacks.Outcome) string {
+	if spec == nil {
+		spec = core.DefenseBaseline
+	}
+	if spec.New == nil {
+		// Unmonitored baseline: purely diagnostic; it cannot even reset.
+		if o.Resets > 0 {
+			return fmt.Sprintf("baseline device reset %d times with no monitor wired", o.Resets)
+		}
+		return ""
+	}
+	if o.Resets > 0 {
+		if o.Reason == "" {
+			return "monitored device reset without a recorded reason"
+		}
+		if !spec.EmitsReason(o.Reason) {
+			return fmt.Sprintf("reset reason %q is not emittable by defense %q", o.Reason, spec.Name)
+		}
+	}
+	if spec.Name != core.DefenseEILID.Name {
+		return ""
+	}
+	return g.CheckProtected(o)
+}
 
 // FamilyNames lists the generator families in their round-robin order:
 // item i of any batch belongs to family i mod len(FamilyNames()).
