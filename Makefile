@@ -13,13 +13,15 @@ vet:
 test:
 	$(GO) test ./...
 
-# The fast/slow, block-execution, tick-equivalence and
-# recycled-vs-fresh differential suites are the correctness contract of
-# the hot-path optimizations and the machine-recycling subsystem; this
-# target fails if any of them is skipped or matches nothing.
+# The fast/slow, block-execution, tick-equivalence,
+# recycled-vs-fresh and crash/resume differential suites are the
+# correctness contract of the hot-path optimizations, the
+# machine-recycling subsystem and the fleet's crash-safety (journaled
+# checkpointing, fault containment, resume convergence); this target
+# fails if any of them is skipped or matches nothing.
 test-differential:
-	@out=$$($(GO) test -v -run 'TestDispatchDifferential|TestFastSlow|TestBlock|TestTickEquivalence|TestTimerTickClosedForm|TestRecycle|TestGenerated' \
-		./internal/mem ./internal/core ./internal/periph ./internal/fleet) || { echo "$$out"; exit 1; }; \
+	@out=$$($(GO) test -v -run 'TestDispatchDifferential|TestFastSlow|TestBlock|TestTickEquivalence|TestTimerTickClosedForm|TestRecycle|TestGenerated|TestCrashResume|TestFault|TestJournal|TestStreamPanic|TestStreamCancel|TestFleetCrashResumeCLI|TestFleetFaultInjectionCLI' \
+		./internal/mem ./internal/core ./internal/periph ./internal/fleet ./internal/fleet/pool ./cmd/eilid-fleet) || { echo "$$out"; exit 1; }; \
 	echo "$$out" | grep -q -- '--- PASS' || { echo 'no differential tests ran'; exit 1; }; \
 	if echo "$$out" | grep -q -- '--- SKIP'; then echo "$$out" | grep -- '--- SKIP'; echo 'differential tests were skipped'; exit 1; fi; \
 	echo "differential suites: $$(echo "$$out" | grep -c -- '--- PASS') passes, no skips"

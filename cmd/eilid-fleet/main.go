@@ -10,6 +10,11 @@
 //	eilid-fleet [-workers N] [-repeat N] [-apps a,b] [-scenarios x,y]
 //	            [-defenses baseline,eilid,shadow,critvar]
 //	            [-gen N] [-seed S] [-json out.ndjson] [-verify] [-q]
+//	            [-job-timeout 2m] [-retries N]
+//	            [-fault-panic i,j] [-fault-transient i,j] [-fault-hang i]
+//	            [-fault-seed S -fault-panics N -fault-transients N]
+//	            [-interrupt-after K]
+//	eilid-fleet -resume out.ndjson [-workers N] [-recycle=β] [-q]
 //
 // -defenses selects the defense columns from the registry
 // (core.Defenses); the default runs every registered defense.
@@ -20,18 +25,39 @@
 // the per-job NDJSON lines are byte-identical across runs and worker
 // counts, and any record is reproducible from its seed and index.
 //
-// -json streams NDJSON: one JSON line per job, written and flushed as
-// the job completes (in job order), followed by one summary line with
-// the aggregate counters. The matrix is never materialized in memory,
-// so arbitrarily large scenario spaces stream in bounded space.
-// `-json -` sends the stream to stdout and implies -q, keeping the
-// stream pure NDJSON.
+// -json streams a resumable NDJSON journal: a header line
+// fingerprinting the matrix, one JSON line per job written and flushed
+// as the job completes (in job order), and one deterministic summary
+// line. The matrix is never materialized in memory, so arbitrarily
+// large scenario spaces stream in bounded space. `-json -` sends the
+// stream to stdout and implies -q, keeping the stream pure NDJSON.
+//
+// On SIGINT/SIGTERM the fleet stops dispatch, drains the in-flight
+// jobs, journals an interrupted marker and exits with code 3; a second
+// signal force-quits. `-resume out.ndjson` rebuilds the matrix from the
+// journal header (validating its fingerprint), runs only the jobs not
+// yet completed — including any recorded as failed, so fault-injected
+// panics re-run clean — appends their results crash-safely, and then
+// compacts the file into canonical job order. The compacted file is
+// byte-identical to one from an uninterrupted run.
+//
+// Every job runs inside the runner's fault boundary: a panicking job
+// becomes a deterministic failure record instead of killing the batch,
+// transient failures retry up to -retries times, and -job-timeout arms
+// a per-job wall-clock watchdog that fails (rather than hangs on)
+// runaway jobs. The -fault-* flags inject deterministic faults by job
+// index (or derived from -fault-seed) for crash-safety testing, and
+// -interrupt-after K simulates a kill after the K-th result for
+// deterministic resume tests.
 //
 // -verify additionally replays the matrix sequentially and fails unless
 // the concurrent results are byte-identical — the fleet's determinism
 // contract, checkable from the command line. (Verification needs both
 // result sets in memory, so -verify runs aggregate rather than
 // streaming; the NDJSON output is line-identical either way.)
+//
+// Exit codes: 0 success; 1 job failures, failed checks or I/O errors;
+// 2 usage or spec errors; 3 interrupted (journal flushed, resumable).
 package main
 
 import (
@@ -41,8 +67,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	"eilid/internal/core"
 	"eilid/internal/fleet"
@@ -65,6 +96,48 @@ func splitList(s string) []string {
 	return out
 }
 
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad job index %q: %v", f, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// journalWriter is the NDJSON sink with every write, flush and close
+// error surfaced: a journal that looks complete but lost its tail to a
+// full disk is worse than a loud failure.
+type journalWriter struct {
+	f *os.File // nil when the journal goes to stdout
+	w *bufio.Writer
+}
+
+func (jw *journalWriter) result(jr fleet.JobResult) error {
+	if err := fleet.WriteNDJSONLine(jw.w, jr); err != nil {
+		return err
+	}
+	// Flush per job: a consumer tailing the file sees every result the
+	// moment its job (and its predecessors) finish, and a crash loses at
+	// most the OS buffer, never silently drops the middle of the file.
+	return jw.w.Flush()
+}
+
+// close flushes and closes the sink, reporting the first error; the
+// stdout variant only flushes.
+func (jw *journalWriter) close() error {
+	err := jw.w.Flush()
+	if jw.f != nil {
+		if cerr := jw.f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("eilid-fleet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -77,9 +150,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defensesFlag := fs.String("defenses", "", "comma-separated defense columns (default: all registered)")
 	gen := fs.Int("gen", 0, "number of generated attack variants to add (0 = none)")
 	seed := fs.Uint64("seed", 1, "seed for the generated dimension")
-	jsonOut := fs.String("json", "", "stream the results as NDJSON (one line per job + a summary line) to this file (- for stdout)")
+	jsonOut := fs.String("json", "", "stream the results as a resumable NDJSON journal to this file (- for stdout)")
+	resume := fs.String("resume", "", "resume an interrupted journal: run the remaining jobs and compact the file")
 	verify := fs.Bool("verify", false, "replay sequentially and require byte-identical results")
 	recycle := fs.Bool("recycle", true, "recycle pooled machines between jobs (false = construct per job)")
+	jobTimeout := fs.Duration("job-timeout", 2*time.Minute, "per-job wall-clock watchdog; runaway jobs fail instead of hanging the batch (0 = off)")
+	retries := fs.Int("retries", fleet.DefaultMaxRetries, "extra attempts for jobs reporting transient failures (negative = never retry)")
+	faultPanic := fs.String("fault-panic", "", "inject a panic at these job indices (crash-safety testing)")
+	faultTransient := fs.String("fault-transient", "", "inject a once-transient failure at these job indices")
+	faultHang := fs.String("fault-hang", "", "inject a hang at these job indices (requires -job-timeout)")
+	faultSeed := fs.Uint64("fault-seed", 0, "derive fault indices from this seed (0 = off)")
+	faultPanics := fs.Int("fault-panics", 1, "panics to derive from -fault-seed")
+	faultTransients := fs.Int("fault-transients", 1, "transient failures to derive from -fault-seed")
+	interruptAfter := fs.Int("interrupt-after", -1, "act as if interrupted after K results (deterministic resume testing; -1 = off)")
 	quiet := fs.Bool("q", false, "suppress the per-job table")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -88,12 +171,77 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// Graceful shutdown: the first SIGINT/SIGTERM stops dispatch and
+	// drains the in-flight jobs so the journal ends on a clean record
+	// boundary; a second one force-quits.
+	cancel := make(chan struct{})
+	var cancelOnce sync.Once
+	interrupt := func() { cancelOnce.Do(func() { close(cancel) }) }
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer func() {
+		signal.Stop(sigc)
+		close(sigc)
+	}()
+	go func() {
+		s, ok := <-sigc
+		if !ok {
+			return
+		}
+		fmt.Fprintf(stderr, "eilid-fleet: %v: stopping dispatch, draining in-flight jobs (signal again to force quit)\n", s)
+		interrupt()
+		if _, ok := <-sigc; ok {
+			os.Exit(130)
+		}
+	}()
+
 	pipeline, err := core.NewPipeline(core.DefaultConfig())
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	runner, err := fleet.NewRunner(pipeline, fleet.Spec{
+
+	if *resume != "" {
+		// -resume rebuilds the matrix from the journal header; flags
+		// that would select a different matrix (or re-inject faults)
+		// contradict that and are rejected rather than ignored.
+		incompatible := map[string]bool{
+			"apps": true, "scenarios": true, "no-apps": true, "no-scenarios": true,
+			"defenses": true, "repeat": true, "gen": true, "seed": true,
+			"json": true, "verify": true, "fault-panic": true, "fault-transient": true,
+			"fault-hang": true, "fault-seed": true, "fault-panics": true,
+			"fault-transients": true, "interrupt-after": true,
+		}
+		var conflicts []string
+		fs.Visit(func(f *flag.Flag) {
+			if incompatible[f.Name] {
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			fmt.Fprintf(stderr, "eilid-fleet: -resume takes the matrix from the journal; drop %s\n", strings.Join(conflicts, ", "))
+			return 2
+		}
+		return runResume(pipeline, *resume, fleet.Spec{
+			Workers:    *workers,
+			NoRecycle:  !*recycle,
+			JobTimeout: *jobTimeout,
+			MaxRetries: *retries,
+		}, cancel, *quiet, stdout, stderr)
+	}
+
+	panicAt, err1 := splitInts(*faultPanic)
+	transientAt, err2 := splitInts(*faultTransient)
+	hangAt, err3 := splitInts(*faultHang)
+	for _, e := range []error{err1, err2, err3} {
+		if e != nil {
+			fmt.Fprintln(stderr, "eilid-fleet:", e)
+			return 2
+		}
+	}
+	fault := fleet.FaultSpec{PanicAt: panicAt, TransientAt: transientAt, HangAt: hangAt}
+
+	spec := fleet.Spec{
 		Apps:        splitList(*appsFlag),
 		Scenarios:   splitList(*scenariosFlag),
 		NoApps:      *noApps,
@@ -103,48 +251,78 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Workers:     *workers,
 		NoRecycle:   !*recycle,
 		Generated:   fleet.GeneratedSpec{Seed: *seed, Count: *gen},
-	})
+		JobTimeout:  *jobTimeout,
+		MaxRetries:  *retries,
+		Fault:       fault,
+	}
+	runner, err := fleet.NewRunner(pipeline, spec)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	if *faultSeed != 0 {
+		// Seed-derived faults need the enumerated job count, so build
+		// once to learn it, then rebuild with the derived faults merged
+		// in (artifacts rebuild too — acceptable for a testing flag).
+		derived := fleet.FaultFromSeed(*faultSeed, len(runner.Jobs()), *faultPanics, *faultTransients)
+		spec.Fault.PanicAt = append(spec.Fault.PanicAt, derived.PanicAt...)
+		spec.Fault.TransientAt = append(spec.Fault.TransientAt, derived.TransientAt...)
+		if runner, err = fleet.NewRunner(pipeline, spec); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
 
-	// The NDJSON sink: a flushed writer when -json is set, else nil.
-	var jsonW *bufio.Writer
+	// The NDJSON journal sink: a flushed writer when -json is set.
+	var jw *journalWriter
 	if *jsonOut != "" {
-		w := stdout
-		if *jsonOut != "-" {
+		jw = &journalWriter{}
+		if *jsonOut == "-" {
+			// stdout is the NDJSON stream: interleaving the human table
+			// would corrupt it for line-oriented consumers.
+			*quiet = true
+			jw.w = bufio.NewWriter(stdout)
+		} else {
 			f, err := os.Create(*jsonOut)
 			if err != nil {
 				fmt.Fprintln(stderr, err)
 				return 1
 			}
-			defer f.Close()
-			w = f
-		} else {
-			// stdout is the NDJSON stream: interleaving the human table
-			// would corrupt it for line-oriented consumers.
-			*quiet = true
+			jw.f = f
+			jw.w = bufio.NewWriter(f)
 		}
-		jsonW = bufio.NewWriter(w)
+		if err := fleet.WriteJournalHeader(jw.w, runner.JournalHeader()); err == nil {
+			err = jw.w.Flush()
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "eilid-fleet: writing journal header:", err)
+			jw.close()
+			return 1
+		}
 	}
 
+	emitted := 0
+	if *interruptAfter == 0 {
+		interrupt()
+	}
 	emit := func(jr fleet.JobResult) error {
 		if !*quiet {
 			jr.RenderRow(stdout)
 		}
-		if jsonW != nil {
-			if err := fleet.WriteNDJSONLine(jsonW, jr); err != nil {
+		if jw != nil {
+			if err := jw.result(jr); err != nil {
 				return err
 			}
-			// Flush per job: a consumer tailing the file sees every
-			// result the moment its job (and its predecessors) finish.
-			return jsonW.Flush()
+		}
+		emitted++
+		if *interruptAfter > 0 && emitted == *interruptAfter {
+			interrupt()
 		}
 		return nil
 	}
 
 	var report *fleet.Report
+	interrupted := false
 	if *verify {
 		// Verification compares the full concurrent result set against a
 		// sequential replay, so this path aggregates in memory.
@@ -176,6 +354,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, jr := range rep.Results {
 			if err := emit(jr); err != nil {
 				fmt.Fprintln(stderr, err)
+				if jw != nil {
+					jw.close()
+				}
 				return 1
 			}
 		}
@@ -185,7 +366,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fleet.RenderTableHeader(stdout)
 		}
 		var emitErr error
-		rep, err := runner.RunStream(func(jr fleet.JobResult) {
+		rep, intr, err := runner.RunStreamCancel(cancel, func(jr fleet.JobResult) {
 			if emitErr == nil {
 				emitErr = emit(jr)
 			}
@@ -196,21 +377,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if emitErr != nil {
 			fmt.Fprintln(stderr, emitErr)
+			if jw != nil {
+				jw.close()
+			}
 			return 1
 		}
 		report = rep
+		interrupted = intr
+	}
+
+	if interrupted {
+		if jw != nil {
+			err := fleet.WriteJournalInterrupted(jw.w, emitted, len(runner.Jobs()))
+			if cerr := jw.close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(stderr, "eilid-fleet: writing interrupted journal:", err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "eilid-fleet: interrupted after %d/%d jobs; complete with: eilid-fleet -resume %s\n",
+				emitted, len(runner.Jobs()), *jsonOut)
+		} else {
+			fmt.Fprintf(stderr, "eilid-fleet: interrupted after %d/%d jobs (no -json journal to resume from)\n",
+				emitted, len(runner.Jobs()))
+		}
+		return 3
 	}
 
 	if !*quiet {
 		report.RenderSummary(stdout)
 	}
-	if jsonW != nil {
-		if err := report.WriteSummaryNDJSONLine(jsonW); err != nil {
-			fmt.Fprintln(stderr, err)
-			return 1
+	if jw != nil {
+		err := fleet.WriteJournalSummary(jw.w, report)
+		if cerr := jw.close(); err == nil {
+			err = cerr
 		}
-		if err := jsonW.Flush(); err != nil {
-			fmt.Fprintln(stderr, err)
+		if err != nil {
+			fmt.Fprintln(stderr, "eilid-fleet: writing journal summary:", err)
 			return 1
 		}
 	}
@@ -218,4 +422,151 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// runResume completes an interrupted (or fault-failed) journal: rebuild
+// the matrix from the header, validate it, run the remaining jobs while
+// appending their results crash-safely, then compact the file into
+// canonical job order — byte-identical to an uninterrupted run.
+func runResume(pipeline *core.Pipeline, path string, execSpec fleet.Spec, cancel <-chan struct{}, quiet bool, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "eilid-fleet: resume:", err)
+		return 1
+	}
+	j, err := fleet.ParseJournal(data)
+	if err != nil {
+		fmt.Fprintln(stderr, "eilid-fleet: resume:", err)
+		return 2
+	}
+	if j.Truncated {
+		fmt.Fprintln(stderr, "eilid-fleet: resume: journal ends in a torn write (crash mid-job?); the partial line is ignored")
+	}
+	spec := j.Header.Spec.Spec()
+	spec.Workers = execSpec.Workers
+	spec.NoRecycle = execSpec.NoRecycle
+	spec.JobTimeout = execSpec.JobTimeout
+	spec.MaxRetries = execSpec.MaxRetries
+	runner, err := fleet.NewRunner(pipeline, spec)
+	if err != nil {
+		fmt.Fprintln(stderr, "eilid-fleet: resume: rebuilding matrix:", err)
+		return 2
+	}
+	if err := j.Validate(runner); err != nil {
+		fmt.Fprintln(stderr, "eilid-fleet: resume:", err)
+		return 2
+	}
+	remaining := j.Remaining()
+	if len(remaining) == 0 && j.Complete && !j.Truncated {
+		fmt.Fprintf(stdout, "resume: %s is already complete (%d jobs)\n", path, j.Header.Jobs)
+		return 0
+	}
+
+	start := time.Now()
+	if len(remaining) > 0 {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			fmt.Fprintln(stderr, "eilid-fleet: resume:", err)
+			return 1
+		}
+		jw := &journalWriter{f: f, w: bufio.NewWriter(f)}
+		if !quiet {
+			fmt.Fprintf(stdout, "resume: %d/%d jobs already journalled, running %d\n",
+				j.Header.Jobs-len(remaining), j.Header.Jobs, len(remaining))
+			fleet.RenderTableHeader(stdout)
+		}
+		var emitErr error
+		ran := 0
+		interrupted, err := runner.RunIndices(remaining, cancel, func(jr fleet.JobResult) {
+			if emitErr != nil {
+				return
+			}
+			if !quiet {
+				jr.RenderRow(stdout)
+			}
+			// Append before recording: if the write fails the job is
+			// still "remaining" on the next resume.
+			if emitErr = jw.result(jr); emitErr == nil {
+				j.Results[jr.Index] = jr
+				ran++
+			}
+		})
+		if err == nil {
+			err = emitErr
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "eilid-fleet: resume:", err)
+			jw.close()
+			return 1
+		}
+		if interrupted {
+			werr := fleet.WriteJournalInterrupted(jw.w, j.Header.Jobs-len(remaining)+ran, j.Header.Jobs)
+			if cerr := jw.close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintln(stderr, "eilid-fleet: resume: writing interrupted journal:", werr)
+				return 1
+			}
+			fmt.Fprintf(stderr, "eilid-fleet: resume interrupted with %d jobs still to run; resume again\n",
+				len(remaining)-ran)
+			return 3
+		}
+		if err := jw.close(); err != nil {
+			fmt.Fprintln(stderr, "eilid-fleet: resume:", err)
+			return 1
+		}
+	}
+
+	merged, err := j.Merged()
+	if err != nil {
+		fmt.Fprintln(stderr, "eilid-fleet: resume:", err)
+		return 1
+	}
+	report := fleet.Aggregate(merged, runner.Workers(), time.Since(start))
+	if err := compactJournal(path, runner, merged, report); err != nil {
+		fmt.Fprintln(stderr, "eilid-fleet: resume: compacting journal:", err)
+		return 1
+	}
+	if !quiet {
+		report.RenderSummary(stdout)
+	}
+	fmt.Fprintf(stdout, "resume: %s complete (%d jobs, compacted to canonical order)\n", path, j.Header.Jobs)
+	if report.Failures > 0 || report.ChecksFailed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// compactJournal rewrites the journal in canonical order — header, all
+// job lines by index, deterministic summary — via a temp file and
+// rename, so the journal is never left half-rewritten.
+func compactJournal(path string, runner *fleet.Runner, merged []fleet.JobResult, report *fleet.Report) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	err = fleet.WriteJournalHeader(w, runner.JournalHeader())
+	for _, jr := range merged {
+		if err != nil {
+			break
+		}
+		err = fleet.WriteNDJSONLine(w, jr)
+	}
+	if err == nil {
+		err = fleet.WriteJournalSummary(w, report)
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }

@@ -23,24 +23,40 @@ func TestFleetSmallMatrix(t *testing.T) {
 	}
 }
 
-// parseNDJSON splits an NDJSON stream into per-job lines and the final
-// summary line, validating every line is standalone JSON.
+// parseNDJSON splits a journal stream into its header, per-job lines
+// and summary line, validating every line is standalone JSON and that
+// the journal framing is present.
 func parseNDJSON(t *testing.T, raw []byte) (jobs []map[string]any, summary map[string]any) {
 	t.Helper()
 	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
 	if len(lines) < 2 {
-		t.Fatalf("NDJSON stream has %d lines, want >= 2 (jobs + summary):\n%s", len(lines), raw)
+		t.Fatalf("NDJSON stream has %d lines, want >= 2 (header + summary):\n%s", len(lines), raw)
 	}
+	var header map[string]any
 	for i, line := range lines {
 		var v map[string]any
 		if err := json.Unmarshal([]byte(line), &v); err != nil {
 			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
 		}
-		if i == len(lines)-1 {
+		switch v["journal"] {
+		case "eilid-fleet":
+			if i != 0 {
+				t.Fatalf("header on line %d, want 0", i)
+			}
+			header = v
+		case "summary":
 			summary = v
-		} else {
+		case nil:
 			jobs = append(jobs, v)
+		default:
+			t.Fatalf("unexpected journal marker on line %d: %v", i, v["journal"])
 		}
+	}
+	if header == nil {
+		t.Fatalf("journal missing header line:\n%s", raw)
+	}
+	if header["fingerprint"] == "" || header["jobs"].(float64) != float64(len(jobs)) {
+		t.Fatalf("bad header (have %d job lines): %+v", len(jobs), header)
 	}
 	return jobs, summary
 }
@@ -69,19 +85,19 @@ func TestFleetVerifyAndJSON(t *testing.T) {
 	if jobs[0]["name"] != "TempSensor" || jobs[0]["cycles"].(float64) == 0 {
 		t.Fatalf("unexpected first result: %+v", jobs[0])
 	}
-	if summary["workers"].(float64) != 8 || summary["jobs"].(float64) != 4 {
+	if summary["jobs"].(float64) != 4 || summary["failures"].(float64) != 0 {
 		t.Fatalf("unexpected summary: %+v", summary)
 	}
-	if _, ok := summary["results"]; ok {
-		t.Fatalf("summary line must not embed the results array: %+v", summary)
+	for _, nondeterministic := range []string{"results", "workers", "wall_ms"} {
+		if _, ok := summary[nondeterministic]; ok {
+			t.Fatalf("summary line must not embed %q: %+v", nondeterministic, summary)
+		}
 	}
 }
 
 // TestFleetJSONStreamsDeterministically: the streamed (non-verify)
-// NDJSON output must be byte-identical to the verify path's, which in
-// turn is pinned to the sequential replay — so streaming loses no
-// determinism. The summary line is compared without its wall-clock
-// fields.
+// journal must be byte-identical to the verify path's, which in turn is
+// pinned to the sequential replay — so streaming loses no determinism.
 func TestFleetJSONStreamsDeterministically(t *testing.T) {
 	dir := t.TempDir()
 	runOnce := func(name string, extra ...string) []byte {
@@ -116,10 +132,6 @@ func TestFleetJSONStreamsDeterministically(t *testing.T) {
 			t.Errorf("job line %d differs:\n%s\n%s", i, a, b)
 		}
 	}
-	for _, wall := range []string{"wall_ms", "sim_mcycles_per_sec"} {
-		delete(sSum, wall)
-		delete(vSum, wall)
-	}
 	a, _ := json.Marshal(sSum)
 	b, _ := json.Marshal(vSum)
 	if string(a) != string(b) {
@@ -129,9 +141,8 @@ func TestFleetJSONStreamsDeterministically(t *testing.T) {
 
 // TestFleetGeneratedDimension drives the CLI's -gen/-seed path: a
 // fixed-seed generated-only batch exits clean, reports the dimension's
-// diagnostics, and streams per-job NDJSON lines that are byte-identical
-// across worker counts (the summary line differs only by its workers
-// and wall-clock fields, so the comparison stops before it).
+// diagnostics, and streams a journal that is byte-identical across
+// worker counts.
 func TestFleetGeneratedDimension(t *testing.T) {
 	dir := t.TempDir()
 	runOnce := func(name, workers string) ([]map[string]any, map[string]any, string) {
@@ -150,14 +161,15 @@ func TestFleetGeneratedDimension(t *testing.T) {
 			t.Fatal(err)
 		}
 		jobs, summary := parseNDJSON(t, raw)
-		lines := strings.SplitAfter(string(raw), "\n")
-		return jobs, summary, strings.Join(lines[:len(jobs)], "")
+		return jobs, summary, string(raw)
 	}
 
 	jobs1, sum1, raw1 := runOnce("w1.ndjson", "1")
 	_, _, raw6 := runOnce("w6.ndjson", "6")
+	// The whole journal — header, job lines and summary — is pinned
+	// byte-identical across worker counts; nothing is sliced off.
 	if raw1 != raw6 {
-		t.Error("generated job lines differ between -workers 1 and -workers 6")
+		t.Error("journal differs between -workers 1 and -workers 6")
 	}
 	if len(jobs1) != 96 {
 		t.Fatalf("got %d job lines, want 96 (24 scenarios x 4 defenses)", len(jobs1))
@@ -193,6 +205,124 @@ func TestFleetGeneratedDimension(t *testing.T) {
 		if v, ok := j["victim"].(string); !ok || v == "" {
 			t.Fatalf("generated job missing victim: %+v", j)
 		}
+	}
+}
+
+// TestFleetCrashResumeCLI drives the full crash-safety loop through
+// the CLI: a batch interrupted after one result exits 3 and journals an
+// interrupted marker; -resume completes it and compacts the file to
+// byte-identical with an uninterrupted run; a second resume is a no-op.
+func TestFleetCrashResumeCLI(t *testing.T) {
+	dir := t.TempDir()
+	matrix := []string{"-apps", "LightSensor", "-scenarios", "stack-smash"}
+
+	clean := dir + "/clean.ndjson"
+	var out, errb strings.Builder
+	if code := run(append(matrix, "-workers", "4", "-q", "-json", clean), &out, &errb); code != 0 {
+		t.Fatalf("clean run: exit %d, stderr: %s", code, errb.String())
+	}
+
+	killed := dir + "/killed.ndjson"
+	out.Reset()
+	errb.Reset()
+	code := run(append(matrix, "-workers", "1", "-interrupt-after", "1", "-q", "-json", killed), &out, &errb)
+	if code != 3 {
+		t.Fatalf("interrupted run: exit %d, want 3; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "-resume") {
+		t.Errorf("interrupted run did not point at -resume:\n%s", errb.String())
+	}
+	raw, err := os.ReadFile(killed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"journal":"interrupted"`) {
+		t.Fatalf("interrupted journal missing marker:\n%s", raw)
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-resume", killed, "-workers", "8", "-q"}, &out, &errb); code != 0 {
+		t.Fatalf("resume: exit %d, stderr: %s\n%s", code, errb.String(), out.String())
+	}
+	want, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(killed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(want) != string(got) {
+		t.Fatalf("resumed journal differs from uninterrupted run:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+
+	out.Reset()
+	if code := run([]string{"-resume", killed, "-q"}, &out, &errb); code != 0 {
+		t.Fatalf("second resume: exit %d", code)
+	}
+	if !strings.Contains(out.String(), "already complete") {
+		t.Errorf("second resume did not report completion:\n%s", out.String())
+	}
+}
+
+// TestFleetFaultInjectionCLI: injected panics fail the batch (exit 1)
+// but every job still gets a journal record, and -resume re-runs the
+// failed jobs clean — converging to the unfaulted journal.
+func TestFleetFaultInjectionCLI(t *testing.T) {
+	dir := t.TempDir()
+	matrix := []string{"-apps", "LightSensor", "-scenarios", "stack-smash"}
+
+	clean := dir + "/clean.ndjson"
+	var out, errb strings.Builder
+	if code := run(append(matrix, "-workers", "4", "-q", "-json", clean), &out, &errb); code != 0 {
+		t.Fatalf("clean run: exit %d, stderr: %s", code, errb.String())
+	}
+
+	faulted := dir + "/faulted.ndjson"
+	errb.Reset()
+	code := run(append(matrix, "-workers", "4", "-q", "-json", faulted, "-fault-panic", "0,2"), &out, &errb)
+	if code != 1 {
+		t.Fatalf("faulted run: exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	raw, err := os.ReadFile(faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "injected panic at job 0") {
+		t.Fatalf("faulted journal missing panic record:\n%s", raw)
+	}
+
+	errb.Reset()
+	if code := run([]string{"-resume", faulted, "-q"}, &out, &errb); code != 0 {
+		t.Fatalf("resume: exit %d, stderr: %s", code, errb.String())
+	}
+	want, _ := os.ReadFile(clean)
+	got, _ := os.ReadFile(faulted)
+	if string(want) != string(got) {
+		t.Fatalf("resumed faulted journal differs from clean run:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+func TestFleetResumeFlagErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-resume", "x.ndjson", "-gen", "5"}, &out, &errb); code != 2 {
+		t.Errorf("-resume with matrix flags: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-gen") {
+		t.Errorf("conflict message does not name the flag:\n%s", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-resume", "/nonexistent/x.ndjson"}, &out, &errb); code != 1 {
+		t.Errorf("-resume of missing file: exit %d, want 1", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-apps", "LightSensor", "-no-scenarios", "-fault-hang", "0", "-job-timeout", "0"}, &out, &errb); code != 2 {
+		t.Errorf("-fault-hang without watchdog: exit %d, want 2", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-apps", "LightSensor", "-no-scenarios", "-fault-panic", "nope"}, &out, &errb); code != 2 {
+		t.Errorf("unparseable fault index: exit %d, want 2", code)
 	}
 }
 

@@ -17,6 +17,7 @@ package fleet
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"eilid/internal/apps"
@@ -27,6 +28,10 @@ import (
 	"eilid/internal/isa"
 	"eilid/internal/scenario"
 )
+
+// DefaultMaxRetries is how many extra attempts a transiently failing
+// job gets when Spec.MaxRetries is zero.
+const DefaultMaxRetries = 2
 
 // Spec selects the job matrix.
 type Spec struct {
@@ -53,6 +58,25 @@ type Spec struct {
 	// Generated sizes the generated scenario dimension (zero Count
 	// disables it).
 	Generated GeneratedSpec
+	// MaxRetries bounds the extra attempts a job reporting a transient
+	// failure (see TransientErrPrefix) gets before the failure is
+	// recorded. Zero means DefaultMaxRetries; negative disables retry.
+	// Retries happen immediately, on the same worker, with the machine
+	// recycled back to its sealed snapshot, so a retried success is
+	// byte-identical to a first-attempt success.
+	MaxRetries int
+	// JobTimeout arms the per-job wall-clock watchdog: a job still
+	// running after this long is abandoned and recorded as a
+	// deterministic watchdog failure instead of hanging the batch (the
+	// worker's pooled machines are discarded, since the runaway attempt
+	// may still be mutating one). Zero disables the watchdog; none of
+	// these execution knobs affect job results, only whether a runaway
+	// job can stall the run.
+	JobTimeout time.Duration
+	// Fault injects deterministic faults by job index — the harness the
+	// crash-safety differential suites drive. The zero value injects
+	// nothing.
+	Fault FaultSpec
 }
 
 // GeneratedSpec adds a third matrix dimension of seed-derived attack
@@ -134,15 +158,53 @@ type Runner struct {
 	generated map[string]scenario.Generated
 	jobs      []Job
 	workers   int
+	repeat    int
+	gen       GeneratedSpec
+
+	// Fault boundary configuration (see runJobSafe).
+	maxRetries int
+	jobTimeout time.Duration
+	fault      *faultState
 
 	// recycle keeps one fully constructed machine per worker per matrix
 	// cell and recycles it between jobs instead of paying NewMachine +
-	// firmware load per job. machines[w] is owned by worker w (a single
-	// goroutine at a time), so access is lock-free; machine state never
-	// leaks between jobs because Recycle restores the sealed snapshot —
-	// the recycle differential suites pin byte-identical JobResults.
-	recycle  bool
-	machines []map[string]*core.Machine // per worker: kind/name/defense → machine
+	// firmware load per job. worker[w] is owned by worker w, and every
+	// attempt borrows the worker's current machinePool handle; the mutex
+	// guards only that handle, so the watchdog can swap it out and leave
+	// an abandoned runaway attempt as the sole owner of its machines.
+	// Machine state never leaks between jobs because Recycle restores
+	// the sealed snapshot — the recycle differential suites pin
+	// byte-identical JobResults.
+	recycle bool
+	worker  []workerState
+}
+
+// workerState is one worker's machine-pool handle plus its reusable
+// watchdog timer (the timer is touched only on the worker goroutine).
+type workerState struct {
+	mu       sync.Mutex
+	pool     *machinePool
+	watchdog *time.Timer
+}
+
+// machinePool is owned by exactly one job attempt at a time: attempts
+// of a worker borrow it sequentially, and when the watchdog abandons a
+// runaway attempt the handle is replaced, so the runaway keeps (only)
+// its own machines and later jobs never share one with it.
+type machinePool struct {
+	machines map[string]*core.Machine // kind/name/defense → machine
+}
+
+// attemptPool hands the next job attempt the worker's current pool,
+// creating a fresh one after a watchdog abandonment.
+func (r *Runner) attemptPool(worker int) *machinePool {
+	st := &r.worker[worker]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.pool == nil {
+		st.pool = &machinePool{machines: map[string]*core.Machine{}}
+	}
+	return st.pool
 }
 
 // NewRunner builds all artifacts for the matrix selected by spec
@@ -154,7 +216,15 @@ func NewRunner(p *core.Pipeline, spec Spec) (*Runner, error) {
 		r.workers = runtime.GOMAXPROCS(0)
 	}
 	r.recycle = !spec.NoRecycle
-	r.machines = make([]map[string]*core.Machine, r.workers)
+	r.worker = make([]workerState, r.workers)
+	r.gen = spec.Generated
+	r.maxRetries = spec.MaxRetries
+	if r.maxRetries == 0 {
+		r.maxRetries = DefaultMaxRetries
+	} else if r.maxRetries < 0 {
+		r.maxRetries = 0
+	}
+	r.jobTimeout = spec.JobTimeout
 	if spec.Defenses == nil {
 		r.defenses = core.Defenses()
 	} else {
@@ -174,6 +244,7 @@ func NewRunner(p *core.Pipeline, spec Spec) (*Runner, error) {
 	if repeat <= 0 {
 		repeat = 1
 	}
+	r.repeat = repeat
 
 	if !spec.NoApps {
 		list, err := selectApps(spec.Apps)
@@ -239,6 +310,11 @@ func NewRunner(p *core.Pipeline, spec Spec) (*Runner, error) {
 			}
 		}
 	}
+	fault, err := compileFaults(spec.Fault, len(r.jobs), r.jobTimeout)
+	if err != nil {
+		return nil, err
+	}
+	r.fault = fault
 	return r, nil
 }
 
@@ -311,20 +387,22 @@ func (r *Runner) BuildFor(kind, name string) *core.BuildResult {
 func (r *Runner) Workers() int { return r.workers }
 
 // Run executes the matrix on the worker pool and aggregates the report.
-// Per-job failures are recorded in the job's Err field rather than
-// aborting the fleet: one wild scenario must not sink the batch.
+// Per-job failures — including panics, which the fault boundary turns
+// into deterministic failure records — are recorded in the job's Err
+// field rather than aborting the fleet: one wild scenario must not sink
+// the batch.
 func (r *Runner) Run() (*Report, error) {
 	start := time.Now()
-	results := pool.DoIndexed(len(r.jobs), r.workers, r.runJob)
-	return aggregate(results, r.workers, time.Since(start)), nil
+	results := pool.DoIndexed(len(r.jobs), r.workers, r.runJobSafe)
+	return Aggregate(results, r.workers, time.Since(start)), nil
 }
 
 // RunSequential executes the same matrix on one worker — the reference
 // ordering for determinism checks.
 func (r *Runner) RunSequential() (*Report, error) {
 	start := time.Now()
-	results := pool.DoIndexed(len(r.jobs), 1, r.runJob)
-	return aggregate(results, 1, time.Since(start)), nil
+	results := pool.DoIndexed(len(r.jobs), 1, r.runJobSafe)
+	return Aggregate(results, 1, time.Since(start)), nil
 }
 
 // RunStream executes the matrix and delivers every JobResult to emit —
@@ -334,26 +412,145 @@ func (r *Runner) RunSequential() (*Report, error) {
 // (Results is nil); because emission is in job order, the stream is as
 // deterministic as Run's results array.
 func (r *Runner) RunStream(emit func(JobResult)) (*Report, error) {
+	rep, _, err := r.RunStreamCancel(nil, emit)
+	return rep, err
+}
+
+// RunStreamCancel is RunStream with graceful shutdown: when cancel is
+// closed, dispatch stops, the in-flight jobs drain and emit, and the
+// call returns interrupted=true with the partial aggregate. Every
+// emitted result is final — exactly what a journal needs to make the
+// batch resumable.
+func (r *Runner) RunStreamCancel(cancel <-chan struct{}, emit func(JobResult)) (rep *Report, interrupted bool, err error) {
 	start := time.Now()
-	rep := &Report{Workers: r.workers}
-	pool.StreamIndexed(len(r.jobs), r.workers, r.runJob, func(_ int, jr JobResult) {
+	rep = &Report{Workers: r.workers}
+	_, interrupted = pool.StreamIndexedCancel(len(r.jobs), r.workers, cancel, r.runJobSafe, func(_ int, jr JobResult) {
 		rep.add(jr)
 		if emit != nil {
 			emit(jr)
 		}
 	})
-	return rep.finish(time.Since(start)), nil
+	return rep.finish(time.Since(start)), interrupted, nil
 }
 
-func (r *Runner) runJob(worker, i int) JobResult {
+// RunIndices executes only the named jobs (the remainder of an
+// interrupted batch, in ascending order) and streams their results to
+// emit as each completes. Results are identical to the same jobs' slice
+// of a full run: job identity is (seed, index)-deterministic and
+// machines recycle to sealed snapshots, so a resumed batch merges
+// byte-identically into an uninterrupted one.
+func (r *Runner) RunIndices(indices []int, cancel <-chan struct{}, emit func(JobResult)) (interrupted bool, err error) {
+	for _, i := range indices {
+		if i < 0 || i >= len(r.jobs) {
+			return false, fmt.Errorf("fleet: resume index %d out of range [0, %d)", i, len(r.jobs))
+		}
+	}
+	_, interrupted = pool.StreamIndexedCancel(len(indices), r.workers, cancel,
+		func(worker, k int) JobResult { return r.runJobSafe(worker, indices[k]) },
+		func(_ int, jr JobResult) {
+			if emit != nil {
+				emit(jr)
+			}
+		})
+	return interrupted, nil
+}
+
+// runJobSafe is the fault boundary around one job: per-job watchdog,
+// bounded transient retry, and panic containment. Everything the
+// runner executes goes through it, so a panicking, transiently failing
+// or runaway job becomes a deterministic JobResult instead of a lost
+// batch.
+func (r *Runner) runJobSafe(worker, i int) JobResult {
+	mp := r.attemptPool(worker)
+	if r.jobTimeout <= 0 {
+		return r.runJobAttempts(mp, i)
+	}
+	// The attempt runs on its own goroutine so the watchdog can abandon
+	// it; the buffered channel lets a late attempt finish and exit
+	// without a receiver.
+	done := make(chan JobResult, 1)
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				// Backstop only — runJobAttempts contains panics itself.
+				jr := JobResult{Job: r.jobs[i]}
+				jr.Err = fmt.Sprintf("panic: %v", v)
+				done <- jr
+			}
+		}()
+		done <- r.runJobAttempts(mp, i)
+	}()
+	st := &r.worker[worker]
+	t := st.watchdog
+	if t == nil {
+		t = time.NewTimer(r.jobTimeout)
+		st.watchdog = t
+	} else {
+		t.Reset(r.jobTimeout)
+	}
+	select {
+	case res := <-done:
+		if !t.Stop() {
+			<-t.C
+		}
+		return res
+	case <-t.C:
+		// The attempt goroutine may still be mutating the machines in
+		// mp; swap the worker's handle so no later job shares one with
+		// it. The runaway goroutine keeps (only) its own pool and exits
+		// whenever (if ever) the attempt returns.
+		st.mu.Lock()
+		st.pool = nil
+		st.mu.Unlock()
+		res := JobResult{Job: r.jobs[i]}
+		res.Err = fmt.Sprintf("watchdog: job exceeded the %v wall-clock limit", r.jobTimeout)
+		return res
+	}
+}
+
+// runJobAttempts runs one job with bounded retry: attempts reporting a
+// transient failure (TransientErrPrefix) are retried immediately on the
+// same worker until one returns a final result or the retry budget is
+// spent. Each attempt recycles its machine back to the sealed snapshot
+// (machineFor does on every pool hit), so a retried success is
+// byte-identical to a first-attempt one.
+func (r *Runner) runJobAttempts(mp *machinePool, i int) JobResult {
+	for attempt := 0; ; attempt++ {
+		res := r.runJobOnce(mp, i, attempt)
+		if attempt >= r.maxRetries || !IsTransientErr(res.Err) {
+			return res
+		}
+	}
+}
+
+// runJobOnce runs a single attempt under recover: a panic — injected or
+// real — becomes a deterministic failure record (stable message, no
+// stack addresses) and the batch continues. Fault injection fires
+// before the job touches any machine.
+func (r *Runner) runJobOnce(mp *machinePool, i, attempt int) (res JobResult) {
+	defer func() {
+		if v := recover(); v != nil {
+			res = JobResult{Job: r.jobs[i]}
+			res.Err = fmt.Sprintf("panic: %v", v)
+		}
+	}()
+	if msg := r.fault.fire(i, attempt); msg != "" {
+		res = JobResult{Job: r.jobs[i]}
+		res.Err = msg
+		return res
+	}
+	return r.runJob(mp, i)
+}
+
+func (r *Runner) runJob(mp *machinePool, i int) JobResult {
 	job := r.jobs[i]
 	switch job.Kind {
 	case "app":
-		return r.runAppJob(worker, job)
+		return r.runAppJob(mp, job)
 	case "gen":
-		return r.runGenJob(worker, job)
+		return r.runGenJob(mp, job)
 	default:
-		return r.runAttackJob(worker, job)
+		return r.runAttackJob(mp, job)
 	}
 }
 
@@ -377,12 +574,13 @@ func artifactKey(job Job) string {
 	return job.Kind + "/" + job.Name
 }
 
-// machineFor hands the worker a machine for the cell: the worker's
-// pooled one, recycled back to its sealed snapshot, or — on the cell's
-// first job on this worker, or with recycling off — a fresh build.
+// machineFor hands the attempt a machine for the cell: its borrowed
+// pool's, recycled back to the sealed snapshot, or — on the cell's
+// first job in this pool, or with recycling off — a fresh build.
 // Machines are pooled per (artifact, defense): a defense monitor is
-// stateful hardware, never shared across columns.
-func (r *Runner) machineFor(worker int, job Job) (*core.Machine, error) {
+// stateful hardware, never shared across columns. mp is exclusively
+// owned by the calling attempt, so no locking is needed here.
+func (r *Runner) machineFor(mp *machinePool, job Job) (*core.Machine, error) {
 	a := r.artifacts[artifactKey(job)]
 	if a == nil {
 		return nil, fmt.Errorf("fleet: no artifact for %s", artifactKey(job))
@@ -395,12 +593,7 @@ func (r *Runner) machineFor(worker int, job Job) (*core.Machine, error) {
 		return r.newMachine(a, spec)
 	}
 	key := artifactKey(job) + "/" + job.Defense
-	cache := r.machines[worker]
-	if cache == nil {
-		cache = map[string]*core.Machine{}
-		r.machines[worker] = cache
-	}
-	if m, ok := cache[key]; ok {
+	if m, ok := mp.machines[key]; ok {
 		if err := m.Recycle(); err != nil {
 			return nil, err
 		}
@@ -411,7 +604,7 @@ func (r *Runner) machineFor(worker int, job Job) (*core.Machine, error) {
 		return nil, err
 	}
 	m.Snapshot()
-	cache[key] = m
+	mp.machines[key] = m
 	return m, nil
 }
 
@@ -465,14 +658,14 @@ func ExecuteAppOn(m *core.Machine, app apps.App) (*apps.Inspection, string, erro
 	return insp, reason, runErr
 }
 
-func (r *Runner) runAppJob(worker int, job Job) JobResult {
+func (r *Runner) runAppJob(mp *machinePool, job Job) JobResult {
 	res := JobResult{Job: job}
 	app, ok := apps.ByName(job.Name)
 	if !ok {
 		res.Err = fmt.Sprintf("unknown app %q", job.Name)
 		return res
 	}
-	m, err := r.machineFor(worker, job)
+	m, err := r.machineFor(mp, job)
 	if err != nil {
 		res.Err = err.Error()
 		return res
@@ -502,7 +695,7 @@ func (r *Runner) runAppJob(worker int, job Job) JobResult {
 	return res
 }
 
-func (r *Runner) runAttackJob(worker int, job Job) JobResult {
+func (r *Runner) runAttackJob(mp *machinePool, job Job) JobResult {
 	res := JobResult{Job: job}
 	var sc attacks.Scenario
 	found := false
@@ -516,7 +709,7 @@ func (r *Runner) runAttackJob(worker int, job Job) JobResult {
 		res.Err = fmt.Sprintf("unknown scenario %q", job.Name)
 		return res
 	}
-	o, err := r.executeScenario(worker, job, sc)
+	o, err := r.executeScenario(mp, job, sc)
 	if err != nil {
 		res.Err = err.Error()
 		return res
@@ -559,7 +752,7 @@ func (res *JobResult) fillOutcome(o attacks.Outcome) {
 // (or fresh) machine. Handcrafted attack jobs and generated jobs both
 // go through it, so the two kinds cannot diverge in target preparation
 // or machine lifecycle.
-func (r *Runner) executeScenario(worker int, job Job, sc attacks.Scenario) (attacks.Outcome, error) {
+func (r *Runner) executeScenario(mp *machinePool, job Job, sc attacks.Scenario) (attacks.Outcome, error) {
 	a := r.artifacts[artifactKey(job)]
 	if a == nil {
 		return attacks.Outcome{}, fmt.Errorf("no artifact for %s", artifactKey(job))
@@ -571,7 +764,7 @@ func (r *Runner) executeScenario(worker int, job Job, sc attacks.Scenario) (atta
 	t := attacks.TargetFor(r.p, a.build, spec)
 	t.Predecoded = a.pre(spec)
 
-	m, err := r.machineFor(worker, job)
+	m, err := r.machineFor(mp, job)
 	if err != nil {
 		return attacks.Outcome{}, err
 	}
@@ -584,14 +777,14 @@ func (r *Runner) executeScenario(worker int, job Job, sc attacks.Scenario) (atta
 // reset for reasons they can emit, and the baseline is recorded purely
 // as a diagnostic — many generated variants are deliberate near-misses
 // that fizzle everywhere.
-func (r *Runner) runGenJob(worker int, job Job) JobResult {
+func (r *Runner) runGenJob(mp *machinePool, job Job) JobResult {
 	res := JobResult{Job: job}
 	g, ok := r.generated[job.Name]
 	if !ok {
 		res.Err = fmt.Sprintf("unknown generated scenario %q", job.Name)
 		return res
 	}
-	o, err := r.executeScenario(worker, job, g.Scenario)
+	o, err := r.executeScenario(mp, job, g.Scenario)
 	if err != nil {
 		res.Err = err.Error()
 		return res

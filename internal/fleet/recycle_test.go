@@ -49,13 +49,15 @@ func TestRecycleFleetByteIdentical(t *testing.T) {
 		}
 	}
 	pooled := 0
-	for _, cache := range recycled.machines {
-		pooled += len(cache)
+	for w := range recycled.worker {
+		if mp := recycled.worker[w].pool; mp != nil {
+			pooled += len(mp.machines)
+		}
 	}
 	if pooled == 0 {
 		t.Fatal("recycling runner pooled no machines; the differential is vacuous")
 	}
-	if n := len(fresh.machines[0]); n != 0 {
-		t.Fatalf("NoRecycle runner pooled %d machines", n)
+	if mp := fresh.worker[0].pool; mp != nil && len(mp.machines) != 0 {
+		t.Fatalf("NoRecycle runner pooled %d machines", len(mp.machines))
 	}
 }

@@ -98,8 +98,10 @@ func (r *Report) finish(wall time.Duration) *Report {
 	return r
 }
 
-// aggregate folds job results into a report.
-func aggregate(results []JobResult, workers int, wall time.Duration) *Report {
+// Aggregate folds job results into a report — the same folding the
+// runner applies incrementally, exported so a resumed batch can rebuild
+// the aggregate from merged journal results.
+func Aggregate(results []JobResult, workers int, wall time.Duration) *Report {
 	rep := &Report{Workers: workers, Results: results}
 	for _, jr := range results {
 		rep.add(jr)
@@ -243,16 +245,3 @@ func WriteNDJSONLine(w io.Writer, jr JobResult) error {
 	return err
 }
 
-// WriteSummaryNDJSONLine emits the aggregate report (without per-job
-// results) as the final line of an NDJSON stream.
-func (r *Report) WriteSummaryNDJSONLine(w io.Writer) error {
-	summary := *r
-	summary.Results = nil
-	b, err := json.Marshal(&summary)
-	if err != nil {
-		return err
-	}
-	b = append(b, '\n')
-	_, err = w.Write(b)
-	return err
-}
