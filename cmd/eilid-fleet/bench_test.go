@@ -1,0 +1,37 @@
+package main
+
+// BenchmarkCoordinator_ShardScaling measures the multi-process
+// coordinator end to end — spawn, supervise, merge, fsync — over a
+// fixed 300-item generated batch (600 jobs) at 1, 2 and 4 worker
+// processes. Each worker pays the full cold start (process spawn,
+// pipeline, artifact builds), so this is the honest distributed-mode
+// cost, not just the sharded inner loop; jobs/s is the comparable
+// metric across process counts.
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func BenchmarkCoordinator_ShardScaling(b *testing.B) {
+	const genCount = 300 // × 2 defenses = 600 jobs
+	for _, procs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			dir := b.TempDir()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				path := filepath.Join(dir, fmt.Sprintf("out-%d-%d.ndjson", procs, i))
+				args := append(genArgs(genCount), "-json", path, "-coordinator", fmt.Sprint(procs))
+				var out, errb strings.Builder
+				if code := run(args, &out, &errb); code != 0 {
+					b.Fatalf("coordinator exit %d: %s", code, errb.String())
+				}
+			}
+			b.StopTimer()
+			jobs := float64(2*genCount) * float64(b.N)
+			b.ReportMetric(jobs/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}

@@ -1,0 +1,138 @@
+package main
+
+// Coordinator mode: `eilid-fleet -coordinator N -json out.ndjson`
+// shards the matrix across N supervised eilid-fleet worker processes
+// (see internal/fleet/coord) and merges their journals into out.ndjson
+// — byte-identical to the journal an uninterrupted single-process run
+// writes, whatever the workers did along the way.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"eilid/internal/fleet"
+	"eilid/internal/fleet/coord"
+)
+
+// coordOpts carries the coordinator-mode flag values.
+type coordOpts struct {
+	procs         int // -coordinator: concurrent worker processes
+	shards        int // -shards: shard count (0 = procs)
+	workerThreads int // -worker-threads: in-process pool size per worker (0 = auto)
+	heartbeat     time.Duration
+	liveness      time.Duration
+	restarts      int
+	backoff       time.Duration
+	shardDir      string
+	faultKill     string
+	faultWedge    string
+	out           string // -json: merged journal destination
+}
+
+// workerArgs rebuilds the eilid-fleet invocation that reproduces this
+// runner's matrix in a worker process, from the canonical resolved
+// spec in the journal header — explicit name lists, never "default to
+// all", so a registry drift between coordinator and worker shows up as
+// a fingerprint mismatch instead of silent wrong results.
+func workerArgs(runner *fleet.Runner, spec fleet.Spec, o coordOpts) []string {
+	js := runner.JournalHeader().Spec
+	threads := o.workerThreads
+	if threads < 1 {
+		threads = max(1, runtime.GOMAXPROCS(0)/o.procs)
+	}
+	args := []string{
+		"-q",
+		"-workers", strconv.Itoa(threads),
+		"-heartbeat", o.heartbeat.String(),
+	}
+	if len(js.Apps) > 0 {
+		args = append(args, "-apps", strings.Join(js.Apps, ","))
+	} else {
+		args = append(args, "-no-apps")
+	}
+	if len(js.Scenarios) > 0 {
+		args = append(args, "-scenarios", strings.Join(js.Scenarios, ","))
+	} else {
+		args = append(args, "-no-scenarios")
+	}
+	args = append(args, "-defenses", strings.Join(js.Defenses, ","))
+	args = append(args, "-repeat", strconv.Itoa(js.Repeat))
+	if js.GenCount > 0 {
+		args = append(args, "-gen", strconv.Itoa(js.GenCount), "-seed", strconv.FormatUint(js.GenSeed, 10))
+	}
+	if spec.NoRecycle {
+		args = append(args, "-recycle=false")
+	}
+	args = append(args, "-job-timeout", spec.JobTimeout.String())
+	args = append(args, "-retries", strconv.Itoa(spec.MaxRetries))
+	return args
+}
+
+// runCoordinator plans, supervises and merges one coordinated batch.
+func runCoordinator(runner *fleet.Runner, spec fleet.Spec, o coordOpts, cancel <-chan struct{}, quiet bool, stdout, stderr io.Writer) int {
+	fault, err := coord.ParseFaults(o.faultKill, o.faultWedge)
+	if err != nil {
+		fmt.Fprintln(stderr, "eilid-fleet:", err)
+		return 2
+	}
+
+	shardDir := o.shardDir
+	cleanup := false
+	if shardDir == "" {
+		shardDir, err = os.MkdirTemp("", "eilid-fleet-shards-")
+		if err != nil {
+			fmt.Fprintln(stderr, "eilid-fleet:", err)
+			return 1
+		}
+		cleanup = true
+	}
+
+	c, err := coord.New(coord.Config{
+		Runner:      runner,
+		Workers:     o.procs,
+		Shards:      o.shards,
+		WorkerArgs:  workerArgs(runner, spec, o),
+		Heartbeat:   o.heartbeat,
+		Liveness:    o.liveness,
+		MaxRestarts: o.restarts,
+		Backoff:     o.backoff,
+		Dir:         shardDir,
+		Fault:       fault,
+		Spawn:       coord.ExecSelf(stderr),
+		Log:         stderr,
+		Cancel:      cancel,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "eilid-fleet:", err)
+		return 2
+	}
+
+	rep, sum, interrupted, err := c.Run(o.out)
+	sum.Render(stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "eilid-fleet: coordinator:", err)
+		return 1
+	}
+	if interrupted {
+		fmt.Fprintf(stderr, "eilid-fleet: interrupted after %d/%d jobs; complete with: eilid-fleet -resume %s\n",
+			rep.Jobs, len(runner.Jobs()), o.out)
+		return 3
+	}
+	// Shard journals are crash forensics; a clean complete run does not
+	// need them. An explicit -shard-dir is the user's to keep.
+	if cleanup {
+		os.RemoveAll(shardDir)
+	}
+	if !quiet {
+		rep.RenderSummary(stdout)
+	}
+	if rep.Failures > 0 || rep.ChecksFailed > 0 {
+		return 1
+	}
+	return 0
+}

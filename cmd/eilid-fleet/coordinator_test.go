@@ -1,0 +1,253 @@
+package main
+
+// Multi-process coordinator suite. TestMain doubles the test binary as
+// the eilid-fleet worker: the coordinator's ExecSelf spawner re-executes
+// the current binary with coord.WorkerEnv set, and TestMain routes that
+// straight into run() — so these tests exercise genuine subprocesses,
+// genuine SIGKILLs and genuine torn journals, not fakes.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"eilid/internal/fleet"
+	"eilid/internal/fleet/coord"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(coord.WorkerEnv) == "1" {
+		os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// genArgs is the matrix every coordinator test runs: count generated
+// variants across two defenses (2×count jobs), no apps, no handcrafted
+// scenarios.
+func genArgs(count int) []string {
+	return []string{
+		"-gen", fmt.Sprint(count), "-seed", "1", "-no-apps", "-no-scenarios",
+		"-defenses", "baseline,eilid", "-q",
+	}
+}
+
+// singleJournal runs the batch single-process into a journal file and
+// returns its bytes — the byte-identity reference.
+func singleJournal(t *testing.T, count int) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "single.ndjson")
+	var out, errb strings.Builder
+	code := run(append(genArgs(count), "-json", path), &out, &errb)
+	if code != 0 {
+		t.Fatalf("single-process run exit %d, stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// coordJournal runs the batch under a coordinator with the given extra
+// flags and returns the merged journal bytes and captured stderr.
+func coordJournal(t *testing.T, count int, extra ...string) ([]byte, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "coord.ndjson")
+	var out, errb strings.Builder
+	args := append(genArgs(count), "-json", path)
+	args = append(args, extra...)
+	code := run(args, &out, &errb)
+	if code != 0 {
+		t.Fatalf("coordinator run exit %d, stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, errb.String()
+}
+
+// summaryCounts extracts the kill counters from the coordinator's
+// stderr summary line. Fault kills are deterministic (the worker
+// announces its stall and freezes until the SIGKILL lands); liveness
+// kills have a deterministic floor but can exceed it when a starved
+// machine makes a healthy worker miss its deadline — the merge is
+// byte-identical either way, so tests assert ">= floor" on those.
+func summaryCounts(t *testing.T, errb string) (faultKills, livenessKills int) {
+	t.Helper()
+	for _, line := range strings.Split(errb, "\n") {
+		if strings.HasPrefix(line, "coordinator: ") {
+			var shards, spawns, restarts, reassigned int
+			if _, err := fmt.Sscanf(line, "coordinator: %d shards, %d spawns (%d restarts), %d fault kills, %d liveness kills, %d jobs reassigned",
+				&shards, &spawns, &restarts, &faultKills, &livenessKills, &reassigned); err != nil {
+				t.Fatalf("unparseable summary line %q: %v", line, err)
+			}
+			return faultKills, livenessKills
+		}
+	}
+	t.Fatalf("no coordinator summary line in stderr:\n%s", errb)
+	return 0, 0
+}
+
+func TestFleetWorkerShardCLI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.ndjson")
+	var out, errb strings.Builder
+	code := run(append(genArgs(6), "-shard", "2:7", "-journal", path, "-heartbeat", "10ms"), &out, &errb)
+	if code != 0 {
+		t.Fatalf("worker exit %d, stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := fleet.ParseJournal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Shard == nil || j.Shard.Lo != 2 || j.Shard.Hi != 7 {
+		t.Fatalf("shard marker = %+v, want [2, 7)", j.Shard)
+	}
+	if !j.ShardDone {
+		t.Fatal("completed shard journal missing shard-done marker")
+	}
+	if len(j.Results) != 5 {
+		t.Fatalf("shard journal has %d results, want 5", len(j.Results))
+	}
+	for i := 2; i < 7; i++ {
+		if _, ok := j.Results[i]; !ok {
+			t.Errorf("shard journal missing job %d", i)
+		}
+	}
+}
+
+func TestFleetCoordinatorByteIdentical(t *testing.T) {
+	want := singleJournal(t, 40)
+	for _, procs := range []int{2, 4} {
+		got, _ := coordJournal(t, 40, "-coordinator", fmt.Sprint(procs))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%d-process merged journal differs from single-process journal", procs)
+		}
+	}
+}
+
+// TestFleetCoordinatorSIGKILL kills -9 a real worker subprocess right
+// after it journals job K, for K at the first, middle and last index
+// of its shard, and requires the reassigned, restarted batch to merge
+// byte-identically. 60 jobs over 3 shards of 20: kills at 0 (first of
+// shard 0), 30 (middle of shard 1) and 59 (last of shard 2).
+func TestFleetCoordinatorSIGKILL(t *testing.T) {
+	want := singleJournal(t, 30)
+	got, errb := coordJournal(t, 30,
+		"-coordinator", "3",
+		"-heartbeat", "25ms", "-liveness", "5s",
+		"-fault-kill-worker", "0@0,1@30,2@59")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("merged journal differs after SIGKILLs at shard edges\nstderr: %s", errb)
+	}
+	if faultKills, _ := summaryCounts(t, errb); faultKills != 3 {
+		t.Errorf("summary reports %d fault kills, want 3:\n%s", faultKills, errb)
+	}
+}
+
+func TestFleetCoordinatorWedge(t *testing.T) {
+	want := singleJournal(t, 20)
+	// Shard 1 of [20, 40) wedges silently after job 25; only the
+	// liveness deadline can unstick the batch.
+	got, errb := coordJournal(t, 20,
+		"-coordinator", "2",
+		"-heartbeat", "20ms", "-liveness", "2s",
+		"-fault-wedge-worker", "1@25")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("merged journal differs after a wedged worker\nstderr: %s", errb)
+	}
+	if _, livenessKills := summaryCounts(t, errb); livenessKills < 1 {
+		t.Errorf("summary does not report the liveness kill:\n%s", errb)
+	}
+}
+
+func TestFleetCoordinatorDegraded(t *testing.T) {
+	want := singleJournal(t, 20)
+	// Zero restart budget: the killed shard's remainder must finish
+	// in-process and the batch must still succeed, byte-identically.
+	got, errb := coordJournal(t, 20,
+		"-coordinator", "2", "-worker-restarts", "0",
+		"-fault-kill-worker", "0@5")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("merged journal differs after degraded completion\nstderr: %s", errb)
+	}
+	if !strings.Contains(errb, "degraded mode: ") {
+		t.Errorf("stderr does not report degraded mode:\n%s", errb)
+	}
+}
+
+// TestFleetCoordinatorFaultMatrix is the acceptance batch: a 1000-item
+// generated matrix (2000 jobs), merged from 2 and from 4 worker
+// processes with a seeded worker kill and a silent wedge in flight,
+// byte-identical to the single-process journal both times.
+func TestFleetCoordinatorFaultMatrix(t *testing.T) {
+	want := singleJournal(t, 1000)
+	cases := []struct {
+		procs int
+		kill  string
+		wedge string
+	}{
+		// 2 shards of 1000: kill mid shard 0, wedge late in shard 1.
+		{2, "0@400", "1@1700"},
+		// 4 shards of 500: kill early in shard 1, wedge mid shard 3.
+		{4, "1@510", "3@1777"},
+	}
+	for _, tc := range cases {
+		got, errb := coordJournal(t, 1000,
+			"-coordinator", fmt.Sprint(tc.procs),
+			"-heartbeat", "25ms", "-liveness", "3s",
+			"-fault-kill-worker", tc.kill,
+			"-fault-wedge-worker", tc.wedge)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%d-process faulted merge differs from single-process journal\nstderr: %s", tc.procs, errb)
+		}
+		faultKills, livenessKills := summaryCounts(t, errb)
+		if faultKills != 1 || livenessKills < 1 {
+			t.Errorf("%d-process summary reports %d fault kills (want 1), %d liveness kills (want >= 1):\n%s",
+				tc.procs, faultKills, livenessKills, errb)
+		}
+	}
+}
+
+func TestFleetCoordinatorFlagValidation(t *testing.T) {
+	cases := [][]string{
+		// Nonsense execution knobs are exit-2 usage errors at parse time.
+		{"-workers", "0"},
+		{"-workers", "-3"},
+		{"-job-timeout", "-1s"},
+		{"-repeat", "0"},
+		{"-gen", "-1"},
+		// Coordinator mode needs a file journal and owns fault injection.
+		{"-coordinator", "2"},
+		{"-coordinator", "2", "-json", "-"},
+		{"-coordinator", "-1", "-json", "x.ndjson"},
+		{"-coordinator", "2", "-json", "x.ndjson", "-verify"},
+		{"-coordinator", "2", "-json", "x.ndjson", "-fault-panic", "1"},
+		{"-coordinator", "2", "-json", "x.ndjson", "-fault-kill-worker", "0"},
+		{"-coordinator", "2", "-json", "x.ndjson", "-fault-kill-worker", "0@1", "-fault-wedge-worker", "0@2"},
+		// Worker mode needs both halves and excludes the other modes.
+		{"-shard", "0:4"},
+		{"-journal", "x.ndjson"},
+		{"-shard", "0:4", "-journal", "x.ndjson", "-coordinator", "2"},
+		{"-shard", "0:4", "-journal", "x.ndjson", "-json", "y.ndjson"},
+		{"-gen", "4", "-no-apps", "-no-scenarios", "-shard", "9:8", "-journal", "x.ndjson"},
+		{"-gen", "4", "-no-apps", "-no-scenarios", "-shard", "0:4", "-journal", "x.ndjson", "-stall-after", "2", "-stall-mode", "maim"},
+		// Resume takes the matrix from the journal, not coordinator flags.
+		{"-resume", "x.ndjson", "-coordinator", "2"},
+		{"-resume", "x.ndjson", "-shard", "0:4"},
+	}
+	for _, args := range cases {
+		var out, errb strings.Builder
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) exit %d, want 2\nstderr: %s", args, code, errb.String())
+		}
+	}
+}

@@ -15,6 +15,13 @@
 //	            [-fault-seed S -fault-panics N -fault-transients N]
 //	            [-interrupt-after K]
 //	eilid-fleet -resume out.ndjson [-workers N] [-recycle=β] [-q]
+//	eilid-fleet -coordinator N [-shards M] [-worker-threads T]
+//	            [-heartbeat D] [-liveness D] [-worker-restarts R]
+//	            [-backoff D] [-shard-dir DIR]
+//	            [-fault-kill-worker K@J,…] [-fault-wedge-worker K@J,…]
+//	            -json out.ndjson [matrix flags as above]
+//	eilid-fleet -shard lo:hi -journal shard.ndjson [matrix flags]
+//	            [-heartbeat D] [-stall-after J -stall-mode kill|wedge]
 //
 // -defenses selects the defense columns from the registry
 // (core.Defenses); the default runs every registered defense.
@@ -49,6 +56,20 @@
 // index (or derived from -fault-seed) for crash-safety testing, and
 // -interrupt-after K simulates a kill after the K-th result for
 // deterministic resume tests.
+//
+// -coordinator N shards the resolved job-index space across N
+// supervised eilid-fleet worker subprocesses (see internal/fleet/coord
+// and README "Distributed execution") and merges their shard journals
+// into -json, byte-identical to an uninterrupted single-process run.
+// Workers that wedge or die — including kill -9 — are restarted with
+// exponential backoff and their unfinished indices reassigned, resuming
+// from the dead worker's torn journal; when a shard's restart budget
+// (-worker-restarts) is exhausted its remainder runs in-process and the
+// batch completes in degraded mode rather than failing.
+// -fault-kill-worker and -fault-wedge-worker inject deterministic
+// process-level faults for testing. -shard/-journal is the worker side
+// of the protocol; it is spawned by the coordinator but can be invoked
+// by hand to run one index range into a shard journal.
 //
 // -verify additionally replays the matrix sequentially and fails unless
 // the concurrent results are byte-identical — the fleet's determinism
@@ -163,12 +184,71 @@ func run(args []string, stdout, stderr io.Writer) int {
 	faultPanics := fs.Int("fault-panics", 1, "panics to derive from -fault-seed")
 	faultTransients := fs.Int("fault-transients", 1, "transient failures to derive from -fault-seed")
 	interruptAfter := fs.Int("interrupt-after", -1, "act as if interrupted after K results (deterministic resume testing; -1 = off)")
+	coordinator := fs.Int("coordinator", 0, "shard the batch across N supervised worker processes and merge their journals into -json (0 = off)")
+	shardsFlag := fs.Int("shards", 0, "shard count for -coordinator (0 = one per worker process)")
+	workerThreads := fs.Int("worker-threads", 0, "in-process pool size of each spawned worker (0 = GOMAXPROCS/N)")
+	heartbeat := fs.Duration("heartbeat", 500*time.Millisecond, "worker heartbeat interval on the shard journal")
+	liveness := fs.Duration("liveness", 5*time.Second, "SIGKILL a worker whose shard journal stops growing for this long")
+	workerRestarts := fs.Int("worker-restarts", 2, "restarts per shard before its remainder runs in-process (degraded mode)")
+	backoff := fs.Duration("backoff", 200*time.Millisecond, "initial worker-restart backoff, doubling per restart")
+	shardDir := fs.String("shard-dir", "", "directory for shard journals (default: a temp dir, removed on success)")
+	faultKillWorker := fs.String("fault-kill-worker", "", "coordinator fault injection: SIGKILL shard K's worker right after it journals job J (comma-separated K@J)")
+	faultWedgeWorker := fs.String("fault-wedge-worker", "", "coordinator fault injection: silently wedge shard K's worker after job J (comma-separated K@J)")
+	shardFlag := fs.String("shard", "", "worker mode: run only job indices lo:hi and journal them to -journal")
+	journalFlag := fs.String("journal", "", "worker mode: shard journal destination")
+	stallAfter := fs.Int("stall-after", -1, "worker mode: freeze after journalling this job index (fault injection; -1 = off)")
+	stallMode := fs.String("stall-mode", "kill", "worker mode: stall variant — kill (announced on the journal) or wedge (silent)")
 	quiet := fs.Bool("q", false, "suppress the per-job table")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
 		}
 		return 2
+	}
+
+	// Nonsense execution knobs are usage errors (exit 2), caught before
+	// any work: a zero-worker pool would deadlock and a negative
+	// watchdog would arm instantly-expired timers.
+	switch {
+	case *workers < 1:
+		fmt.Fprintf(stderr, "eilid-fleet: -workers must be >= 1 (got %d)\n", *workers)
+		return 2
+	case *jobTimeout < 0:
+		fmt.Fprintf(stderr, "eilid-fleet: -job-timeout must be >= 0 (got %v)\n", *jobTimeout)
+		return 2
+	case *repeat < 1:
+		fmt.Fprintf(stderr, "eilid-fleet: -repeat must be >= 1 (got %d)\n", *repeat)
+		return 2
+	case *gen < 0:
+		fmt.Fprintf(stderr, "eilid-fleet: -gen must be >= 0 (got %d)\n", *gen)
+		return 2
+	case *coordinator < 0:
+		fmt.Fprintf(stderr, "eilid-fleet: -coordinator must be >= 0 (got %d)\n", *coordinator)
+		return 2
+	}
+
+	workerMode := *shardFlag != "" || *journalFlag != ""
+	if workerMode && (*shardFlag == "" || *journalFlag == "") {
+		fmt.Fprintln(stderr, "eilid-fleet: worker mode needs both -shard and -journal")
+		return 2
+	}
+	if workerMode && (*coordinator != 0 || *resume != "" || *verify || *jsonOut != "" || *interruptAfter >= 0) {
+		fmt.Fprintln(stderr, "eilid-fleet: -shard/-journal (worker mode) cannot combine with -coordinator, -resume, -verify, -json or -interrupt-after")
+		return 2
+	}
+	if *coordinator > 0 {
+		if *resume != "" || *verify || *interruptAfter >= 0 {
+			fmt.Fprintln(stderr, "eilid-fleet: -coordinator cannot combine with -resume, -verify or -interrupt-after")
+			return 2
+		}
+		if *jsonOut == "" || *jsonOut == "-" {
+			fmt.Fprintln(stderr, "eilid-fleet: -coordinator needs -json FILE for the merged journal")
+			return 2
+		}
+		if *faultPanic != "" || *faultTransient != "" || *faultHang != "" || *faultSeed != 0 {
+			fmt.Fprintln(stderr, "eilid-fleet: -coordinator injects process-level faults (-fault-kill-worker, -fault-wedge-worker); drop the job-level -fault-* flags")
+			return 2
+		}
 	}
 
 	// Graceful shutdown: the first SIGINT/SIGTERM stops dispatch and
@@ -211,6 +291,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			"json": true, "verify": true, "fault-panic": true, "fault-transient": true,
 			"fault-hang": true, "fault-seed": true, "fault-panics": true,
 			"fault-transients": true, "interrupt-after": true,
+			"coordinator": true, "shards": true, "shard": true, "journal": true,
+			"stall-after": true, "stall-mode": true,
+			"fault-kill-worker": true, "fault-wedge-worker": true,
 		}
 		var conflicts []string
 		fs.Visit(func(f *flag.Flag) {
@@ -271,6 +354,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
+	}
+
+	if workerMode {
+		return runWorker(runner, *shardFlag, *journalFlag, *heartbeat, *stallAfter, *stallMode, cancel, stderr)
+	}
+	if *coordinator > 0 {
+		return runCoordinator(runner, spec, coordOpts{
+			procs:         *coordinator,
+			shards:        *shardsFlag,
+			workerThreads: *workerThreads,
+			heartbeat:     *heartbeat,
+			liveness:      *liveness,
+			restarts:      *workerRestarts,
+			backoff:       *backoff,
+			shardDir:      *shardDir,
+			faultKill:     *faultKillWorker,
+			faultWedge:    *faultWedgeWorker,
+			out:           *jsonOut,
+		}, cancel, *quiet, stdout, stderr)
 	}
 
 	// The NDJSON journal sink: a flushed writer when -json is set.
@@ -524,7 +626,12 @@ func runResume(pipeline *core.Pipeline, path string, execSpec fleet.Spec, cancel
 		return 1
 	}
 	report := fleet.Aggregate(merged, runner.Workers(), time.Since(start))
-	if err := compactJournal(path, runner, merged, report); err != nil {
+	// Compact the journal into canonical order — header, all job lines
+	// by index, deterministic summary. WriteJournalFile fsyncs the temp
+	// file before the rename and the directory after it, so neither a
+	// crash nor a power loss can leave a torn or empty file where the
+	// complete append-order journal used to be.
+	if err := fleet.WriteJournalFile(path, runner.JournalHeader(), merged, report); err != nil {
 		fmt.Fprintln(stderr, "eilid-fleet: resume: compacting journal:", err)
 		return 1
 	}
@@ -536,37 +643,4 @@ func runResume(pipeline *core.Pipeline, path string, execSpec fleet.Spec, cancel
 		return 1
 	}
 	return 0
-}
-
-// compactJournal rewrites the journal in canonical order — header, all
-// job lines by index, deterministic summary — via a temp file and
-// rename, so the journal is never left half-rewritten.
-func compactJournal(path string, runner *fleet.Runner, merged []fleet.JobResult, report *fleet.Report) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	w := bufio.NewWriter(f)
-	err = fleet.WriteJournalHeader(w, runner.JournalHeader())
-	for _, jr := range merged {
-		if err != nil {
-			break
-		}
-		err = fleet.WriteNDJSONLine(w, jr)
-	}
-	if err == nil {
-		err = fleet.WriteJournalSummary(w, report)
-	}
-	if err == nil {
-		err = w.Flush()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
 }

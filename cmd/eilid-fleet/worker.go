@@ -1,0 +1,199 @@
+package main
+
+// Worker mode: `eilid-fleet -shard lo:hi -journal shard-K.ndjson` runs
+// one contiguous slice of the matrix for a supervising coordinator.
+// The worker rebuilds the full matrix from the same flags the
+// single-process mode takes (so job identity and the journal
+// fingerprint are identical), then executes only [lo, hi) via
+// Runner.RunIndices, journalling each result in index order.
+//
+// The shard journal is the worker's only interface to the coordinator:
+// a header line, a shard marker naming the assigned range, one flushed
+// line per job, heartbeat lines at -heartbeat intervals, and a
+// shard-done marker on completion. The coordinator judges liveness by
+// file growth, so everything is flushed the moment it is written.
+//
+// -stall-after J -stall-mode kill|wedge inject a deterministic
+// process-level fault: after journalling job J the worker freezes —
+// job lines and heartbeats both stop, as if it wedged mid-write. In
+// kill mode it first announces the stall with a fault marker, which
+// the coordinator answers with an immediate SIGKILL; in wedge mode it
+// freezes silently and only the coordinator's liveness deadline can
+// catch it.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"eilid/internal/fleet"
+)
+
+// shardSink serializes job lines and heartbeat lines onto one flushed
+// journal stream. The mutex is the stall mechanism too: the injected
+// stall parks the emitting goroutine while holding it, so heartbeats
+// freeze along with the job stream — exactly what a wedged process
+// looks like from outside.
+type shardSink struct {
+	mu         sync.Mutex
+	w          *bufio.Writer
+	done       int
+	stallAfter int
+	stallMode  string
+}
+
+func (s *shardSink) emit(jr fleet.JobResult) error {
+	s.mu.Lock()
+	err := fleet.WriteNDJSONLine(s.w, jr)
+	if err == nil {
+		err = s.w.Flush()
+	}
+	if err == nil {
+		s.done++
+		if jr.Index == s.stallAfter {
+			if s.stallMode == "kill" {
+				fleet.WriteJournalFault(s.w, "stall", jr.Index)
+				s.w.Flush()
+			}
+			// Freeze forever, mutex held. A sleep loop rather than a
+			// bare select{}: with every other goroutine also parked,
+			// an unwakeable select would trip Go's deadlock detector
+			// and exit the process — but the point is to *hang* until
+			// the coordinator SIGKILLs us.
+			for {
+				time.Sleep(time.Hour)
+			}
+		}
+	}
+	s.mu.Unlock()
+	return err
+}
+
+func (s *shardSink) heartbeatLoop(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			fleet.WriteJournalHeartbeat(s.w, s.done)
+			s.w.Flush()
+			s.mu.Unlock()
+		}
+	}
+}
+
+// parseShard parses "lo:hi" against the job count.
+func parseShard(s string, n int) (lo, hi int, err error) {
+	a, b, ok := strings.Cut(s, ":")
+	if ok {
+		var e1, e2 error
+		lo, e1 = strconv.Atoi(a)
+		hi, e2 = strconv.Atoi(b)
+		ok = e1 == nil && e2 == nil
+	}
+	if !ok {
+		return 0, 0, fmt.Errorf("-shard %q is not lo:hi", s)
+	}
+	if lo < 0 || hi <= lo || hi > n {
+		return 0, 0, fmt.Errorf("-shard [%d, %d) out of range [0, %d)", lo, hi, n)
+	}
+	return lo, hi, nil
+}
+
+// runWorker executes one shard and writes its journal. Exit codes
+// match the single-process mode: 0 complete, 1 I/O failure, 2 bad
+// arguments, 3 interrupted by signal (no shard-done marker — the
+// coordinator treats it like any other dead worker).
+func runWorker(runner *fleet.Runner, shardArg, journalPath string, heartbeat time.Duration, stallAfter int, stallMode string, cancel <-chan struct{}, stderr io.Writer) int {
+	lo, hi, err := parseShard(shardArg, len(runner.Jobs()))
+	if err != nil {
+		fmt.Fprintln(stderr, "eilid-fleet: worker:", err)
+		return 2
+	}
+	if stallMode != "kill" && stallMode != "wedge" {
+		fmt.Fprintf(stderr, "eilid-fleet: worker: -stall-mode %q is not kill or wedge\n", stallMode)
+		return 2
+	}
+	if stallAfter >= 0 && (stallAfter < lo || stallAfter >= hi) {
+		fmt.Fprintf(stderr, "eilid-fleet: worker: -stall-after %d outside the shard [%d, %d)\n", stallAfter, lo, hi)
+		return 2
+	}
+
+	f, err := os.Create(journalPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "eilid-fleet: worker:", err)
+		return 1
+	}
+	s := &shardSink{w: bufio.NewWriter(f), stallAfter: stallAfter, stallMode: stallMode}
+	if stallAfter < 0 {
+		s.stallAfter = -1
+	}
+	werr := fleet.WriteJournalHeader(s.w, runner.JournalHeader())
+	if werr == nil {
+		werr = fleet.WriteJournalShard(s.w, lo, hi)
+	}
+	if werr == nil {
+		werr = s.w.Flush()
+	}
+	if werr != nil {
+		fmt.Fprintln(stderr, "eilid-fleet: worker:", werr)
+		f.Close()
+		return 1
+	}
+
+	stop := make(chan struct{})
+	if heartbeat > 0 {
+		go s.heartbeatLoop(heartbeat, stop)
+	}
+
+	indices := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		indices = append(indices, i)
+	}
+	var emitErr error
+	interrupted, err := runner.RunIndices(indices, cancel, func(jr fleet.JobResult) {
+		if emitErr == nil {
+			emitErr = s.emit(jr)
+		}
+	})
+	close(stop)
+	if err == nil {
+		err = emitErr
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "eilid-fleet: worker:", err)
+		f.Close()
+		return 1
+	}
+
+	// The heartbeat goroutine is told to stop but may be mid-write;
+	// take the mutex so the trailing marker never interleaves.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !interrupted {
+		werr = fleet.WriteJournalShardDone(s.w, s.done)
+	}
+	if werr == nil {
+		werr = s.w.Flush()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintln(stderr, "eilid-fleet: worker:", werr)
+		return 1
+	}
+	if interrupted {
+		fmt.Fprintf(stderr, "eilid-fleet: worker interrupted after %d/%d shard jobs\n", s.done, hi-lo)
+		return 3
+	}
+	return 0
+}

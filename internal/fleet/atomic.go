@@ -1,0 +1,53 @@
+package fleet
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic durably replaces path with the bytes produced by
+// write: the content goes to a temp file in the same directory, the
+// file is fsynced before the rename and the parent directory is fsynced
+// after it, so a power loss at any point leaves either the old file or
+// the complete new one — never an empty or half-written journal. The
+// temp file is removed on any error.
+func WriteFileAtomic(path string, write func(w io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	err = write(w)
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		// Flush alone hands the bytes to the OS; only fsync pins them to
+		// the disk before the rename makes the new file visible.
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// The rename itself lives in the directory; fsync it so the
+	// replacement survives a crash too.
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,501 @@
+package coord
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"eilid/internal/fleet"
+)
+
+// Config describes one coordinated batch.
+type Config struct {
+	// Runner holds the resolved matrix. The coordinator uses it to
+	// validate shard journals, compute reassignment sets, and execute
+	// degraded shards in-process; workers rebuild the identical matrix
+	// from WorkerArgs.
+	Runner *fleet.Runner
+
+	// Workers is how many worker processes run concurrently (slots).
+	// Shards is how many shards the index space splits into; it
+	// defaults to Workers and is clamped to the job count.
+	Workers int
+	Shards  int
+
+	// WorkerArgs are the eilid-fleet arguments that reproduce the
+	// matrix and execution knobs in a worker process (apps, defenses,
+	// gen seed/count, thread count, heartbeat interval …). The
+	// coordinator appends the per-attempt -shard/-journal pair and any
+	// injected-fault flags.
+	WorkerArgs []string
+
+	// Heartbeat is the interval workers announce liveness at;
+	// Liveness is how long a shard journal may go without growing
+	// before the worker is declared wedged and SIGKILLed. Liveness
+	// must comfortably exceed Heartbeat. StartupGrace replaces the
+	// liveness deadline until a worker's first journal byte arrives:
+	// process spawn and cold artifact builds scale with the matrix
+	// and legitimately dwarf any mid-work heartbeat gap (defaults to
+	// 10s, never below Liveness).
+	Heartbeat    time.Duration
+	Liveness     time.Duration
+	StartupGrace time.Duration
+
+	// MaxRestarts bounds restarts per shard; the attempt after the
+	// budget is exhausted runs in-process instead (degraded mode).
+	// Backoff is the delay before the first restart, doubling per
+	// restart up to BackoffMax.
+	MaxRestarts int
+	Backoff     time.Duration
+	BackoffMax  time.Duration
+
+	// Dir receives the per-attempt shard journals and the degraded-
+	// mode journal. It is created if missing.
+	Dir string
+
+	// Fault injects deterministic worker kills and wedges.
+	Fault FaultSpec
+
+	// Spawn starts worker processes (ExecSelf in production; tests
+	// inject fakes).
+	Spawn Spawner
+
+	// Log receives human-readable supervision events (restarts,
+	// discarded journals, degraded shards); nil discards them.
+	Log io.Writer
+
+	// Cancel, when closed, stops the batch: workers are killed, their
+	// journalled prefixes harvested, and the merged journal written
+	// with an interrupted marker so -resume can finish it.
+	Cancel <-chan struct{}
+}
+
+// Summary counts the supervision events of one coordinated run —
+// wall-clock-side observability, deliberately kept out of the merged
+// journal so the journal stays byte-identical to a single-process run.
+type Summary struct {
+	Shards         int
+	Spawns         int
+	Restarts       int
+	FaultKills     int
+	LivenessKills  int
+	ReassignedJobs int
+	DegradedShards int
+	DegradedJobs   int
+}
+
+// Render writes the supervision summary.
+func (s *Summary) Render(w io.Writer) {
+	fmt.Fprintf(w, "coordinator: %d shards, %d spawns (%d restarts), %d fault kills, %d liveness kills, %d jobs reassigned\n",
+		s.Shards, s.Spawns, s.Restarts, s.FaultKills, s.LivenessKills, s.ReassignedJobs)
+	if s.DegradedShards > 0 {
+		fmt.Fprintf(w, "degraded mode: %d shards (%d jobs) finished in-process after the restart budget ran out\n",
+			s.DegradedShards, s.DegradedJobs)
+	}
+}
+
+// shardState tracks one shard across worker attempts.
+type shardState struct {
+	shard Shard
+	// attempts lists the validated attempt journals, oldest first; a
+	// later attempt's record for an index supersedes an earlier one
+	// (they are byte-identical when both exist — determinism — but
+	// later-wins is the defensive rule).
+	attempts []string
+	// lo is the resume cursor: every index below it (within the
+	// shard) is journalled. Attempts shrink the range [lo, hi) —
+	// RunIndices emits a contiguous prefix of its index list, so the
+	// un-journalled set is always a suffix of the shard.
+	lo int
+	// degraded marks a shard whose restart budget ran out; [lo, hi)
+	// still needs to run in-process.
+	degraded bool
+}
+
+// Coordinator supervises one coordinated batch. Create with New, run
+// once with Run.
+type Coordinator struct {
+	cfg    Config
+	states []*shardState
+	mu     sync.Mutex
+	sum    Summary
+}
+
+// New validates the config, plans the shards and creates Dir.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Runner == nil {
+		return nil, fmt.Errorf("coord: Config.Runner is required")
+	}
+	if cfg.Spawn == nil {
+		return nil, fmt.Errorf("coord: Config.Spawn is required")
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("coord: Workers must be >= 1, got %d", cfg.Workers)
+	}
+	n := len(cfg.Runner.Jobs())
+	if n == 0 {
+		return nil, fmt.Errorf("coord: the matrix resolves to zero jobs")
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = cfg.Workers
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("coord: Shards must be >= 1, got %d", cfg.Shards)
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 500 * time.Millisecond
+	}
+	if cfg.Liveness <= 0 {
+		cfg.Liveness = 5 * time.Second
+	}
+	if cfg.Liveness <= cfg.Heartbeat {
+		return nil, fmt.Errorf("coord: Liveness (%v) must exceed Heartbeat (%v), or every healthy worker looks wedged", cfg.Liveness, cfg.Heartbeat)
+	}
+	if cfg.StartupGrace <= 0 {
+		cfg.StartupGrace = 10 * time.Second
+	}
+	if cfg.StartupGrace < cfg.Liveness {
+		cfg.StartupGrace = cfg.Liveness
+	}
+	if cfg.MaxRestarts < 0 {
+		return nil, fmt.Errorf("coord: MaxRestarts must be >= 0, got %d", cfg.MaxRestarts)
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 200 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 5 * time.Second
+	}
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("coord: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o777); err != nil {
+		return nil, err
+	}
+	shards := Plan(n, cfg.Shards)
+	if err := cfg.Fault.validate(shards); err != nil {
+		return nil, err
+	}
+	c := &Coordinator{cfg: cfg}
+	for _, s := range shards {
+		c.states = append(c.states, &shardState{shard: s, lo: s.Lo})
+	}
+	c.sum.Shards = len(shards)
+	return c, nil
+}
+
+// Shards returns the planned shard layout.
+func (c *Coordinator) Shards() []Shard {
+	out := make([]Shard, len(c.states))
+	for i, st := range c.states {
+		out[i] = st.shard
+	}
+	return out
+}
+
+func (c *Coordinator) cancelled() bool {
+	select {
+	case <-c.cfg.Cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	c.mu.Lock()
+	fmt.Fprintf(c.cfg.Log, "coord: "+format+"\n", args...)
+	c.mu.Unlock()
+}
+
+// Run executes the batch: supervise every shard on Workers slots,
+// finish exhausted shards in-process, merge, and write the canonical
+// journal to outPath. A complete run's journal is byte-identical to an
+// uninterrupted single-process run of the same matrix; a cancelled
+// run's journal carries an interrupted marker and resumes with
+// -resume. interrupted reports the latter case.
+func (c *Coordinator) Run(outPath string) (rep *fleet.Report, sum *Summary, interrupted bool, err error) {
+	start := time.Now()
+
+	queue := make(chan *shardState)
+	var wg sync.WaitGroup
+	slots := min(c.cfg.Workers, len(c.states))
+	for i := 0; i < slots; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for st := range queue {
+				c.superviseShard(st)
+			}
+		}()
+	}
+	for _, st := range c.states {
+		queue <- st
+	}
+	close(queue)
+	wg.Wait()
+
+	degraded, err := c.runDegraded()
+	if err != nil {
+		return nil, &c.sum, false, err
+	}
+
+	results, missing, err := c.merge(degraded)
+	if err != nil {
+		return nil, &c.sum, false, err
+	}
+
+	n := len(c.cfg.Runner.Jobs())
+	rep = fleet.Aggregate(results, c.cfg.Workers, time.Since(start))
+	h := c.cfg.Runner.JournalHeader()
+	if missing == 0 {
+		err = fleet.WriteJournalFile(outPath, h, results, rep)
+	} else {
+		interrupted = true
+		err = fleet.WriteFileAtomic(outPath, func(w io.Writer) error {
+			if werr := fleet.WriteJournalHeader(w, h); werr != nil {
+				return werr
+			}
+			for _, jr := range results {
+				if werr := fleet.WriteNDJSONLine(w, jr); werr != nil {
+					return werr
+				}
+			}
+			return fleet.WriteJournalInterrupted(w, len(results), n)
+		})
+	}
+	if err != nil {
+		return nil, &c.sum, interrupted, err
+	}
+	return rep, &c.sum, interrupted, nil
+}
+
+// superviseShard drives one shard to completion, degradation or
+// cancellation through bounded worker attempts.
+func (c *Coordinator) superviseShard(st *shardState) {
+	hi := st.shard.Hi
+	for attempt := 1; ; attempt++ {
+		if attempt > 1+c.cfg.MaxRestarts {
+			st.degraded = true
+			c.mu.Lock()
+			c.sum.DegradedShards++
+			c.sum.DegradedJobs += hi - st.lo
+			c.mu.Unlock()
+			c.logf("shard %d: restart budget exhausted, deferring [%d, %d) to in-process degraded mode", st.shard.ID, st.lo, hi)
+			return
+		}
+		if c.cancelled() {
+			return
+		}
+		if attempt > 1 {
+			d := c.cfg.Backoff << (attempt - 2)
+			if d > c.cfg.BackoffMax || d <= 0 {
+				d = c.cfg.BackoffMax
+			}
+			select {
+			case <-time.After(d):
+			case <-c.cfg.Cancel:
+				return
+			}
+			c.mu.Lock()
+			c.sum.Restarts++
+			c.mu.Unlock()
+		}
+		done, cancelled := c.attemptOnce(st, attempt)
+		if done || cancelled {
+			return
+		}
+		c.mu.Lock()
+		c.sum.ReassignedJobs += hi - st.lo
+		c.mu.Unlock()
+		c.logf("shard %d: attempt %d ended with [%d, %d) unfinished, re-queueing", st.shard.ID, attempt, st.lo, hi)
+	}
+}
+
+// attemptOnce runs one worker attempt over [st.lo, st.shard.Hi):
+// pre-creates the attempt journal, spawns the worker, supervises it,
+// then harvests and validates whatever the attempt journalled —
+// advancing st.lo past the recorded prefix, or discarding the file
+// wholesale if it fails fingerprint, shard-marker or job-identity
+// validation.
+func (c *Coordinator) attemptOnce(st *shardState, attempt int) (done, cancelled bool) {
+	lo, hi := st.lo, st.shard.Hi
+	path := filepath.Join(c.cfg.Dir, fmt.Sprintf("shard-%d.a%d.ndjson", st.shard.ID, attempt))
+
+	// Pre-create the journal and open the read side before the worker
+	// starts, so the monitor never races the worker's own create.
+	f, err := os.Create(path)
+	if err != nil {
+		c.logf("shard %d attempt %d: %v", st.shard.ID, attempt, err)
+		return false, false
+	}
+	f.Close()
+	rd, err := os.Open(path)
+	if err != nil {
+		c.logf("shard %d attempt %d: %v", st.shard.ID, attempt, err)
+		return false, false
+	}
+	defer rd.Close()
+
+	args := append(append([]string(nil), c.cfg.WorkerArgs...),
+		"-shard", fmt.Sprintf("%d:%d", lo, hi), "-journal", path)
+	if attempt == 1 {
+		// Injected faults fire on the first attempt only: restarted
+		// workers run clean, so the faulted batch converges.
+		if j, ok := c.cfg.Fault.KillAt[st.shard.ID]; ok {
+			args = append(args, "-stall-after", strconv.Itoa(j), "-stall-mode", "kill")
+		} else if j, ok := c.cfg.Fault.WedgeAt[st.shard.ID]; ok {
+			args = append(args, "-stall-after", strconv.Itoa(j), "-stall-mode", "wedge")
+		}
+	}
+
+	proc, err := c.cfg.Spawn(args)
+	if err != nil {
+		c.logf("shard %d attempt %d: spawn: %v", st.shard.ID, attempt, err)
+		return false, false
+	}
+	c.mu.Lock()
+	c.sum.Spawns++
+	c.mu.Unlock()
+
+	reason, _ := c.monitorAttempt(proc, rd)
+	switch reason {
+	case killFault:
+		c.mu.Lock()
+		c.sum.FaultKills++
+		c.mu.Unlock()
+		c.logf("shard %d attempt %d: worker announced an injected stall, SIGKILLed", st.shard.ID, attempt)
+	case killLiveness:
+		c.mu.Lock()
+		c.sum.LivenessKills++
+		c.mu.Unlock()
+		c.logf("shard %d attempt %d: no journal activity for %v, SIGKILLed", st.shard.ID, attempt, c.cfg.Liveness)
+	case killCancel:
+		cancelled = true
+	}
+
+	// Harvest the attempt journal. A torn final line is fine
+	// (ParseJournal tolerates it); anything structurally wrong —
+	// garbage, wrong fingerprint, wrong shard range, wrong job
+	// identities — discards the whole file: a worker that cannot be
+	// trusted about its framing cannot be trusted about its results.
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		c.logf("shard %d attempt %d: journal unreadable, discarded: %v", st.shard.ID, attempt, rerr)
+		return false, cancelled
+	}
+	if len(data) == 0 {
+		return false, cancelled
+	}
+	j, perr := fleet.ParseJournal(data)
+	if perr == nil {
+		switch {
+		case j.Shard == nil:
+			perr = fmt.Errorf("no shard marker")
+		case j.Shard.Lo != lo || j.Shard.Hi != hi:
+			perr = fmt.Errorf("shard marker [%d, %d), assigned [%d, %d)", j.Shard.Lo, j.Shard.Hi, lo, hi)
+		default:
+			perr = j.Validate(c.cfg.Runner)
+		}
+	}
+	if perr != nil {
+		c.logf("shard %d attempt %d: journal discarded: %v", st.shard.ID, attempt, perr)
+		return false, cancelled
+	}
+	st.attempts = append(st.attempts, path)
+	rem := j.RemainingRange(lo, hi)
+	if len(rem) == 0 {
+		return true, cancelled
+	}
+	st.lo = rem[0]
+	return false, cancelled
+}
+
+// runDegraded finishes every degraded shard's remaining range
+// in-process on the coordinator's own runner — the graceful-degradation
+// backstop that turns "all restarts exhausted" into a slower complete
+// batch instead of a failed one. The results also land in
+// Dir/degraded.ndjson (a valid headered journal) for forensics.
+func (c *Coordinator) runDegraded() (map[int]fleet.JobResult, error) {
+	if c.cancelled() {
+		return nil, nil
+	}
+	var indices []int
+	for _, st := range c.states {
+		if st.degraded {
+			for i := st.lo; i < st.shard.Hi; i++ {
+				indices = append(indices, i)
+			}
+		}
+	}
+	if len(indices) == 0 {
+		return nil, nil
+	}
+	c.logf("degraded mode: running %d jobs in-process", len(indices))
+	path := filepath.Join(c.cfg.Dir, "degraded.ndjson")
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if err := fleet.WriteJournalHeader(w, c.cfg.Runner.JournalHeader()); err != nil {
+		return nil, err
+	}
+	out := make(map[int]fleet.JobResult, len(indices))
+	_, err = c.cfg.Runner.RunIndices(indices, c.cfg.Cancel, func(jr fleet.JobResult) {
+		out[jr.Index] = jr
+		fleet.WriteNDJSONLine(w, jr)
+		w.Flush()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, w.Flush()
+}
+
+// merge folds the validated attempt journals of every shard — later
+// attempts win — plus the degraded overlay into the canonical result
+// order. Shards partition [0, n) contiguously in plan order, so
+// walking them in order yields index order with one shard's journals
+// in memory at a time. missing counts indices no source recorded
+// (only a cancelled run has any).
+func (c *Coordinator) merge(degraded map[int]fleet.JobResult) (results []fleet.JobResult, missing int, err error) {
+	for _, st := range c.states {
+		m := map[int]fleet.JobResult{}
+		for _, path := range st.attempts {
+			data, rerr := os.ReadFile(path)
+			if rerr != nil {
+				return nil, 0, rerr
+			}
+			j, perr := fleet.ParseJournal(data)
+			if perr != nil {
+				return nil, 0, fmt.Errorf("coord: shard %d journal %s failed re-validation: %w", st.shard.ID, filepath.Base(path), perr)
+			}
+			if verr := j.Validate(c.cfg.Runner); verr != nil {
+				return nil, 0, fmt.Errorf("coord: shard %d journal %s failed re-validation: %w", st.shard.ID, filepath.Base(path), verr)
+			}
+			for i, jr := range j.Results {
+				m[i] = jr
+			}
+		}
+		for i := st.shard.Lo; i < st.shard.Hi; i++ {
+			if jr, ok := m[i]; ok {
+				results = append(results, jr)
+			} else if jr, ok := degraded[i]; ok {
+				results = append(results, jr)
+			} else {
+				missing++
+			}
+		}
+	}
+	return results, missing, nil
+}

@@ -1,0 +1,472 @@
+package coord
+
+// Supervisor unit suite: a fake spawner impersonates worker processes
+// by writing real shard journals from precomputed results, so every
+// supervision path — completion, announced kills, silent wedges,
+// garbage journals, restart exhaustion, cancellation — runs fast and
+// deterministically with no real subprocesses. The CLI suite in
+// cmd/eilid-fleet covers the same paths with genuine SIGKILLed
+// processes.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"eilid/internal/core"
+	"eilid/internal/fleet"
+)
+
+func newCoordRunner(t *testing.T) *fleet.Runner {
+	t.Helper()
+	p, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := fleet.NewRunner(p, fleet.Spec{
+		NoApps: true, NoScenarios: true,
+		Defenses:  []string{"baseline", "eilid"},
+		Generated: fleet.GeneratedSpec{Seed: 1, Count: 12},
+		Workers:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// canonicalJournal is the byte-exact journal an uninterrupted
+// single-process run writes — the merge acceptance bar.
+func canonicalJournal(t *testing.T, r *fleet.Runner) []byte {
+	t.Helper()
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fleet.WriteJournalHeader(&buf, r.JournalHeader()); err != nil {
+		t.Fatal(err)
+	}
+	for _, jr := range rep.Results {
+		if err := fleet.WriteNDJSONLine(&buf, jr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fleet.WriteJournalSummary(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+type fakeProc struct {
+	killed   chan struct{}
+	done     chan struct{}
+	killOnce sync.Once
+}
+
+func (p *fakeProc) Kill() error {
+	p.killOnce.Do(func() { close(p.killed) })
+	return nil
+}
+
+// Wait waits for the writer goroutine to stop — it exits promptly on
+// Kill, so a killed fake can never write after being reaped (a real
+// SIGKILLed process can't either).
+func (p *fakeProc) Wait() error {
+	<-p.done
+	return nil
+}
+
+// fakeFleet spawns fake workers that replay precomputed results into
+// shard journals, honouring the -shard/-journal/-stall-* protocol.
+type fakeFleet struct {
+	t       *testing.T
+	runner  *fleet.Runner
+	results []fleet.JobResult
+
+	mu     sync.Mutex
+	spawns int
+	// garbageOn marks spawn ordinals (1-based) that write a corrupt
+	// journal and exit, and vanishOn ordinals that exit without
+	// writing anything.
+	garbageOn map[int]bool
+	vanishOn  map[int]bool
+}
+
+func newFakeFleet(t *testing.T, r *fleet.Runner) *fakeFleet {
+	t.Helper()
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fakeFleet{t: t, runner: r, results: rep.Results}
+}
+
+func argVal(args []string, name string) (string, bool) {
+	for i, a := range args {
+		if a == name && i+1 < len(args) {
+			return args[i+1], true
+		}
+	}
+	return "", false
+}
+
+func (ff *fakeFleet) spawner() Spawner {
+	return func(args []string) (Proc, error) {
+		ff.mu.Lock()
+		ff.spawns++
+		spawn := ff.spawns
+		ff.mu.Unlock()
+
+		shardArg, _ := argVal(args, "-shard")
+		path, _ := argVal(args, "-journal")
+		loS, hiS, _ := strings.Cut(shardArg, ":")
+		lo, _ := strconv.Atoi(loS)
+		hi, _ := strconv.Atoi(hiS)
+		stall := -1
+		if s, ok := argVal(args, "-stall-after"); ok {
+			stall, _ = strconv.Atoi(s)
+		}
+		mode, _ := argVal(args, "-stall-mode")
+
+		p := &fakeProc{killed: make(chan struct{}), done: make(chan struct{})}
+		go func() {
+			defer close(p.done)
+			if ff.vanishOn[spawn] {
+				return
+			}
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_TRUNC, 0)
+			if err != nil {
+				ff.t.Error(err)
+				return
+			}
+			defer f.Close()
+			if ff.garbageOn[spawn] {
+				f.WriteString("{malformed journal bytes\nmore garbage\n")
+				return
+			}
+			fleet.WriteJournalHeader(f, ff.runner.JournalHeader())
+			fleet.WriteJournalShard(f, lo, hi)
+			for i := lo; i < hi; i++ {
+				select {
+				case <-p.killed:
+					return
+				default:
+				}
+				fleet.WriteNDJSONLine(f, ff.results[i])
+				if i == stall {
+					if mode == "kill" {
+						fleet.WriteJournalFault(f, "stall", i)
+					}
+					<-p.killed
+					return
+				}
+			}
+			fleet.WriteJournalShardDone(f, hi-lo)
+		}()
+		return p, nil
+	}
+}
+
+// newCoord builds a test coordinator with fast supervision timings.
+func newCoord(t *testing.T, r *fleet.Runner, ff *fakeFleet, mut func(*Config)) *Coordinator {
+	t.Helper()
+	cfg := Config{
+		Runner:      r,
+		Workers:     2,
+		Shards:      4,
+		Heartbeat:   20 * time.Millisecond,
+		Liveness:    150 * time.Millisecond,
+		MaxRestarts: 2,
+		Backoff:     5 * time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+		Dir:         t.TempDir(),
+		Spawn:       ff.spawner(),
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func runAndCompare(t *testing.T, c *Coordinator, r *fleet.Runner) *Summary {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "merged.ndjson")
+	rep, sum, interrupted, err := c.Run(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interrupted {
+		t.Fatal("complete run reported interrupted")
+	}
+	if rep.Jobs != len(r.Jobs()) {
+		t.Fatalf("report covers %d jobs, want %d", rep.Jobs, len(r.Jobs()))
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalJournal(t, r)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("merged journal differs from single-process journal\ngot %d bytes, want %d", len(got), len(want))
+	}
+	return sum
+}
+
+func TestPlan(t *testing.T) {
+	shards := Plan(10, 4)
+	want := []Shard{{0, 0, 2}, {1, 2, 5}, {2, 5, 7}, {3, 7, 10}}
+	if len(shards) != len(want) {
+		t.Fatalf("planned %d shards, want %d", len(shards), len(want))
+	}
+	for i := range want {
+		if shards[i] != want[i] {
+			t.Errorf("shard %d = %+v, want %+v", i, shards[i], want[i])
+		}
+	}
+	// Clamping: more shards than jobs collapses to one job per shard;
+	// nonpositive counts collapse to a single shard.
+	if got := Plan(3, 8); len(got) != 3 {
+		t.Errorf("Plan(3, 8) made %d shards, want 3", len(got))
+	}
+	if got := Plan(3, 0); len(got) != 1 || got[0].Hi != 3 {
+		t.Errorf("Plan(3, 0) = %+v, want one full shard", got)
+	}
+	if got := Plan(0, 4); got != nil {
+		t.Errorf("Plan(0, 4) = %+v, want nil", got)
+	}
+	// The planned shards always partition [0, n) contiguously.
+	for _, n := range []int{1, 7, 100, 1000} {
+		for _, k := range []int{1, 2, 3, 4, 7, 16} {
+			shards := Plan(n, k)
+			at := 0
+			for _, s := range shards {
+				if s.Lo != at || s.Hi <= s.Lo {
+					t.Fatalf("Plan(%d, %d): shard %+v breaks the partition at %d", n, k, s, at)
+				}
+				at = s.Hi
+			}
+			if at != n {
+				t.Fatalf("Plan(%d, %d) covers [0, %d), want [0, %d)", n, k, at, n)
+			}
+		}
+	}
+}
+
+func TestParseFaults(t *testing.T) {
+	f, err := ParseFaults("0@3,2@11", "1@7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.KillAt[0] != 3 || f.KillAt[2] != 11 || f.WedgeAt[1] != 7 {
+		t.Fatalf("parsed %+v", f)
+	}
+	for _, bad := range []string{"0", "a@1", "0@x", "-1@2", "0@-2", "0@1,0@2"} {
+		if _, err := ParseFaults(bad, ""); err == nil {
+			t.Errorf("ParseFaults(%q) accepted", bad)
+		}
+	}
+	// Validation against the plan: out-of-shard index, unknown shard,
+	// and kill+wedge on the same shard are all rejected.
+	shards := Plan(20, 4)
+	for _, f := range []FaultSpec{
+		{KillAt: map[int]int{0: 7}},
+		{KillAt: map[int]int{9: 0}},
+		{KillAt: map[int]int{1: 6}, WedgeAt: map[int]int{1: 8}},
+	} {
+		if err := f.validate(shards); err == nil {
+			t.Errorf("fault %+v validated against %+v", f, shards)
+		}
+	}
+	if err := (FaultSpec{KillAt: map[int]int{0: 4}, WedgeAt: map[int]int{3: 19}}).validate(shards); err != nil {
+		t.Errorf("valid fault rejected: %v", err)
+	}
+}
+
+func TestCoordComplete(t *testing.T) {
+	r := newCoordRunner(t)
+	ff := newFakeFleet(t, r)
+	c := newCoord(t, r, ff, nil)
+	sum := runAndCompare(t, c, r)
+	if sum.Spawns != 4 || sum.Restarts != 0 || sum.FaultKills != 0 || sum.LivenessKills != 0 {
+		t.Errorf("clean run summary: %+v", sum)
+	}
+}
+
+func TestCoordKillReassign(t *testing.T) {
+	r := newCoordRunner(t)
+	ff := newFakeFleet(t, r)
+	// Shard 1 covers [6, 12); the worker announces a stall after job 8
+	// and is SIGKILLed. The restart resumes from its torn journal: only
+	// [9, 12) re-queues.
+	c := newCoord(t, r, ff, func(cfg *Config) {
+		cfg.Fault = FaultSpec{KillAt: map[int]int{1: 8}}
+	})
+	sum := runAndCompare(t, c, r)
+	if sum.FaultKills != 1 || sum.Restarts != 1 {
+		t.Errorf("summary after kill: %+v", sum)
+	}
+	if sum.ReassignedJobs != 3 {
+		t.Errorf("reassigned %d jobs, want 3 (resume from the torn journal, not the shard start)", sum.ReassignedJobs)
+	}
+}
+
+func TestCoordKillAtLastJobNoRestart(t *testing.T) {
+	r := newCoordRunner(t)
+	ff := newFakeFleet(t, r)
+	// Shard 3 is [18, 24); the kill lands right after its final job, so
+	// the journal is already complete and nothing restarts or re-queues.
+	c := newCoord(t, r, ff, func(cfg *Config) {
+		cfg.Fault = FaultSpec{KillAt: map[int]int{3: 23}}
+	})
+	sum := runAndCompare(t, c, r)
+	if sum.FaultKills != 1 || sum.Restarts != 0 || sum.ReassignedJobs != 0 {
+		t.Errorf("summary after kill at the shard's last job: %+v", sum)
+	}
+}
+
+func TestCoordWedgeLiveness(t *testing.T) {
+	r := newCoordRunner(t)
+	ff := newFakeFleet(t, r)
+	// Shard 2 wedges silently after job 13; only the liveness deadline
+	// can catch it.
+	c := newCoord(t, r, ff, func(cfg *Config) {
+		cfg.Fault = FaultSpec{WedgeAt: map[int]int{2: 13}}
+	})
+	sum := runAndCompare(t, c, r)
+	if sum.LivenessKills != 1 || sum.FaultKills != 0 || sum.Restarts != 1 {
+		t.Errorf("summary after wedge: %+v", sum)
+	}
+}
+
+func TestCoordGarbageJournalDiscarded(t *testing.T) {
+	r := newCoordRunner(t)
+	ff := newFakeFleet(t, r)
+	// The first spawned worker writes a corrupt journal and exits; its
+	// whole attempt is discarded and the shard restarts from scratch.
+	ff.garbageOn = map[int]bool{1: true}
+	c := newCoord(t, r, ff, nil)
+	sum := runAndCompare(t, c, r)
+	if sum.Restarts != 1 {
+		t.Errorf("summary after garbage journal: %+v", sum)
+	}
+}
+
+func TestCoordVanishingWorker(t *testing.T) {
+	r := newCoordRunner(t)
+	ff := newFakeFleet(t, r)
+	// The first spawned worker exits instantly with an empty journal —
+	// crash before the header. The shard restarts cleanly.
+	ff.vanishOn = map[int]bool{1: true}
+	c := newCoord(t, r, ff, nil)
+	sum := runAndCompare(t, c, r)
+	if sum.Restarts != 1 {
+		t.Errorf("summary after vanishing worker: %+v", sum)
+	}
+}
+
+func TestCoordDegraded(t *testing.T) {
+	r := newCoordRunner(t)
+	ff := newFakeFleet(t, r)
+	// No restart budget: the killed shard's remainder must finish
+	// in-process, and the merged journal must still match.
+	c := newCoord(t, r, ff, func(cfg *Config) {
+		cfg.MaxRestarts = 0
+		cfg.Fault = FaultSpec{KillAt: map[int]int{0: 1}}
+	})
+	sum := runAndCompare(t, c, r)
+	if sum.DegradedShards != 1 {
+		t.Errorf("degraded shards = %d, want 1: %+v", sum.DegradedShards, sum)
+	}
+	if sum.DegradedJobs != 4 {
+		t.Errorf("degraded jobs = %d, want 4 (shard 0 is [0, 6), jobs 0-1 journalled)", sum.DegradedJobs)
+	}
+}
+
+func TestCoordCancelledWritesResumableJournal(t *testing.T) {
+	r := newCoordRunner(t)
+	ff := newFakeFleet(t, r)
+	cancel := make(chan struct{})
+	close(cancel)
+	c := newCoord(t, r, ff, func(cfg *Config) { cfg.Cancel = cancel })
+	out := filepath.Join(t.TempDir(), "merged.ndjson")
+	_, _, interrupted, err := c.Run(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !interrupted {
+		t.Fatal("pre-cancelled run did not report interrupted")
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := fleet.ParseJournal(data)
+	if err != nil {
+		t.Fatalf("interrupted merge journal does not parse: %v", err)
+	}
+	if j.Complete {
+		t.Fatal("interrupted journal claims completion")
+	}
+	if err := j.Validate(r); err != nil {
+		t.Fatal(err)
+	}
+	// The interrupted journal is the resume contract: running the
+	// remainder and compacting yields the canonical bytes.
+	if _, err := r.RunIndices(j.Remaining(), nil, func(jr fleet.JobResult) {
+		j.Results[jr.Index] = jr
+	}); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := j.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "compacted.ndjson")
+	if err := fleet.WriteJournalFile(path, r.JournalHeader(), merged, fleet.Aggregate(merged, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := canonicalJournal(t, r); !bytes.Equal(got, want) {
+		t.Fatal("resumed journal differs from the single-process journal")
+	}
+}
+
+func TestCoordConfigErrors(t *testing.T) {
+	r := newCoordRunner(t)
+	base := func() Config {
+		return Config{Runner: r, Workers: 2, Dir: t.TempDir(), Spawn: func([]string) (Proc, error) { return nil, nil }}
+	}
+	cases := map[string]func(*Config){
+		"no runner":           func(c *Config) { c.Runner = nil },
+		"no spawner":          func(c *Config) { c.Spawn = nil },
+		"zero workers":        func(c *Config) { c.Workers = 0 },
+		"negative shards":     func(c *Config) { c.Shards = -1 },
+		"negative restarts":   func(c *Config) { c.MaxRestarts = -1 },
+		"liveness<=heartbeat": func(c *Config) { c.Heartbeat = time.Second; c.Liveness = time.Second },
+		"no dir":              func(c *Config) { c.Dir = "" },
+		"fault out of shard":  func(c *Config) { c.Fault = FaultSpec{KillAt: map[int]int{99: 0}} },
+	}
+	for name, mut := range cases {
+		cfg := base()
+		mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: New accepted %+v", name, cfg)
+		}
+	}
+	if _, err := New(base()); err != nil {
+		t.Errorf("baseline config rejected: %v", err)
+	}
+}

@@ -1,0 +1,100 @@
+package coord
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FaultSpec injects deterministic process-level faults, extending the
+// job-level fault injection in internal/fleet/fault.go up one layer:
+// instead of a job that panics, a whole worker that dies or wedges.
+//
+// KillAt[K] = J makes shard K's worker stall immediately after
+// journalling job J and announce the stall with a fault marker; the
+// coordinator SIGKILLs it the moment it reads the marker, so "worker
+// killed -9 right after job J" is an exact, reproducible event.
+// WedgeAt[K] = J is the silent variant — the worker stalls with no
+// marker and no further heartbeats, and only the liveness deadline can
+// catch it. Each fault fires on the shard's first attempt only;
+// restarted workers run clean, which is what lets a faulted batch
+// converge to the same bytes as a clean one.
+type FaultSpec struct {
+	KillAt  map[int]int
+	WedgeAt map[int]int
+}
+
+// Enabled reports whether any fault is armed.
+func (f FaultSpec) Enabled() bool { return len(f.KillAt) > 0 || len(f.WedgeAt) > 0 }
+
+// ParseFaults parses the -fault-kill-worker / -fault-wedge-worker CLI
+// syntax: comma-separated K@J pairs (shard K stalls after job J), e.g.
+// "0@12,3@907".
+func ParseFaults(kill, wedge string) (FaultSpec, error) {
+	f := FaultSpec{}
+	var err error
+	if f.KillAt, err = parsePairs(kill); err != nil {
+		return f, fmt.Errorf("coord: -fault-kill-worker: %w", err)
+	}
+	if f.WedgeAt, err = parsePairs(wedge); err != nil {
+		return f, fmt.Errorf("coord: -fault-wedge-worker: %w", err)
+	}
+	return f, nil
+}
+
+func parsePairs(s string) (map[int]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := map[int]int{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		k, j, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("%q is not K@J", part)
+		}
+		shard, err := strconv.Atoi(k)
+		if err != nil || shard < 0 {
+			return nil, fmt.Errorf("%q: bad shard id", part)
+		}
+		job, err := strconv.Atoi(j)
+		if err != nil || job < 0 {
+			return nil, fmt.Errorf("%q: bad job index", part)
+		}
+		if _, dup := out[shard]; dup {
+			return nil, fmt.Errorf("shard %d listed twice", shard)
+		}
+		out[shard] = job
+	}
+	return out, nil
+}
+
+// validate checks every armed fault against the shard plan: the shard
+// must exist, the job index must be inside it, and a shard cannot both
+// kill and wedge.
+func (f FaultSpec) validate(shards []Shard) error {
+	check := func(at map[int]int, flag string) error {
+		for k, j := range at {
+			if k >= len(shards) {
+				return fmt.Errorf("coord: %s %d@%d: only %d shards planned", flag, k, j, len(shards))
+			}
+			s := shards[k]
+			if j < s.Lo || j >= s.Hi {
+				return fmt.Errorf("coord: %s %d@%d: shard %d covers [%d, %d)", flag, k, j, k, s.Lo, s.Hi)
+			}
+		}
+		return nil
+	}
+	if err := check(f.KillAt, "-fault-kill-worker"); err != nil {
+		return err
+	}
+	if err := check(f.WedgeAt, "-fault-wedge-worker"); err != nil {
+		return err
+	}
+	for k := range f.KillAt {
+		if _, both := f.WedgeAt[k]; both {
+			return fmt.Errorf("coord: shard %d has both a kill and a wedge fault", k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+// Package coord supervises a fleet batch sharded across eilid-fleet
+// worker processes. The coordinator splits the resolved job-index space
+// into contiguous shards, spawns one worker per shard (`-shard lo:hi
+// -journal shard-K.ndjson`), watches each worker's journal stream for
+// progress and heartbeats, SIGKILLs and restarts workers that wedge or
+// announce an injected fault, reassigns a dead worker's unfinished
+// indices by resuming from its torn journal, and finally merges the
+// validated shard journals into one canonical journal byte-identical
+// to an uninterrupted single-process run. When a shard exhausts its
+// restart budget the coordinator finishes its remaining indices
+// in-process (degraded mode) rather than failing the batch.
+package coord
+
+import "fmt"
+
+// Shard is one contiguous slice [Lo, Hi) of the job-index space.
+type Shard struct {
+	ID int
+	Lo int
+	Hi int
+}
+
+// Plan splits n jobs into count contiguous shards using the same
+// integer split everywhere (k*n/count boundaries), so shard layout is a
+// pure function of (n, count) and every test, fault spec and doc can
+// predict it. count is clamped to [1, n] — no empty shards.
+func Plan(n, count int) []Shard {
+	if n <= 0 {
+		return nil
+	}
+	if count < 1 {
+		count = 1
+	}
+	if count > n {
+		count = n
+	}
+	shards := make([]Shard, count)
+	for k := 0; k < count; k++ {
+		shards[k] = Shard{ID: k, Lo: k * n / count, Hi: (k + 1) * n / count}
+	}
+	return shards
+}
+
+// shardFor returns the shard containing job index i, for fault-spec
+// validation.
+func shardFor(shards []Shard, i int) (Shard, error) {
+	for _, s := range shards {
+		if i >= s.Lo && i < s.Hi {
+			return s, nil
+		}
+	}
+	return Shard{}, fmt.Errorf("coord: job index %d outside every shard", i)
+}

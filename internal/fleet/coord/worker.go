@@ -1,0 +1,179 @@
+package coord
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+)
+
+// Proc is the slice of a running worker process the supervisor needs:
+// hard-kill it, and wait for it to be reaped. exec.Cmd satisfies it via
+// execProc; tests substitute fakes so supervisor logic runs without
+// real processes.
+type Proc interface {
+	// Kill terminates the process immediately (SIGKILL — the worker
+	// gets no chance to clean up; surviving that is the point).
+	Kill() error
+	// Wait blocks until the process has exited and is reaped. It is
+	// called exactly once per Proc.
+	Wait() error
+}
+
+// Spawner starts one worker process with the given eilid-fleet
+// arguments. The production spawner is ExecSelf; tests inject fakes.
+type Spawner func(args []string) (Proc, error)
+
+type execProc struct{ cmd *exec.Cmd }
+
+func (p execProc) Kill() error { return p.cmd.Process.Kill() }
+func (p execProc) Wait() error { return p.cmd.Wait() }
+
+// WorkerEnv marks a spawned process as an eilid-fleet worker. The
+// eilid-fleet binary ignores it (its main is already eilid-fleet), but
+// the test binary's TestMain keys on it to re-enter run(), so CLI tests
+// can exercise real multi-process coordination without a separate
+// build step.
+const WorkerEnv = "EILID_FLEET_WORKER"
+
+// lockedWriter serializes writes from concurrent workers' stderr
+// copiers onto one destination writer.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
+
+// ExecSelf spawns workers by re-executing the current binary with
+// WorkerEnv=1. Worker stderr is forwarded to stderr (worker stdout is
+// discarded — a shard worker's real output is its journal file).
+func ExecSelf(stderr io.Writer) Spawner {
+	stderr = &lockedWriter{w: stderr}
+	return func(args []string) (Proc, error) {
+		self, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("coord: cannot locate own binary: %w", err)
+		}
+		cmd := exec.Command(self, args...)
+		cmd.Env = append(os.Environ(), WorkerEnv+"=1")
+		cmd.Stdout = io.Discard
+		cmd.Stderr = stderr
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		return execProc{cmd}, nil
+	}
+}
+
+// faultMarker is the byte signature of an injected-stall announcement
+// on the journal stream. The monitor SIGKILLs the worker as soon as it
+// reads one, turning the worker's deliberate stall into a true kill -9
+// at a deterministic job boundary.
+var faultMarker = []byte(`"journal":"fault"`)
+
+// killReason says why the monitor killed a worker attempt.
+type killReason string
+
+const (
+	killNone     killReason = ""         // worker exited on its own
+	killFault    killReason = "fault"    // announced injected stall
+	killLiveness killReason = "liveness" // no journal activity past the deadline
+	killCancel   killReason = "cancel"   // coordinator shutting down
+)
+
+// monitorAttempt supervises one worker attempt: it polls the shard
+// journal file for new bytes (any growth counts as liveness — job
+// lines and heartbeat lines alike), SIGKILLs the worker when it
+// announces an injected fault or goes silent past the liveness
+// deadline, and returns once the process is reaped.
+//
+// Liveness is judged on the journal file rather than a pipe because
+// the file is the ground truth the reassignment step will read: a
+// worker that is alive but not journalling is exactly as useless as a
+// dead one.
+func (c *Coordinator) monitorAttempt(proc Proc, journal *os.File) (killReason, error) {
+	waitCh := make(chan error, 1)
+	go func() { waitCh <- proc.Wait() }()
+
+	poll := c.cfg.Heartbeat / 2
+	if poll < 10*time.Millisecond {
+		poll = 10 * time.Millisecond
+	}
+	if poll > 250*time.Millisecond {
+		poll = 250 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+
+	lastActivity := time.Now()
+	// Until the first byte lands, the worker is starting up — process
+	// spawn plus cold artifact builds, which scale with the matrix and
+	// legitimately dwarf a mid-work heartbeat gap — so the startup
+	// grace applies instead of the liveness deadline.
+	seenActivity := false
+	// carry holds the tail of the previous chunk so a fault marker
+	// straddling two reads is still seen.
+	var carry []byte
+	buf := make([]byte, 64*1024)
+	reason := killNone
+
+	scan := func() (sawFault bool) {
+		for {
+			n, err := journal.Read(buf)
+			if n > 0 {
+				lastActivity = time.Now()
+				seenActivity = true
+				chunk := append(carry, buf[:n]...)
+				if bytes.Contains(chunk, faultMarker) {
+					sawFault = true
+				}
+				if len(chunk) > len(faultMarker) {
+					chunk = chunk[len(chunk)-len(faultMarker):]
+				}
+				carry = append(carry[:0], chunk...)
+			}
+			if err != nil || n == 0 {
+				return sawFault
+			}
+		}
+	}
+
+	cancelCh := c.cfg.Cancel
+	for {
+		select {
+		case err := <-waitCh:
+			return reason, err
+		case <-cancelCh:
+			cancelCh = nil // fires once; a closed channel would spin the loop
+			if reason == killNone {
+				reason = killCancel
+				proc.Kill()
+			}
+		case <-ticker.C:
+			if reason != killNone {
+				continue // kill issued; just waiting for the reap
+			}
+			if scan() {
+				reason = killFault
+				proc.Kill()
+				continue
+			}
+			deadline := c.cfg.Liveness
+			if !seenActivity {
+				deadline = c.cfg.StartupGrace
+			}
+			if time.Since(lastActivity) > deadline {
+				reason = killLiveness
+				proc.Kill()
+			}
+		}
+	}
+}

@@ -425,12 +425,12 @@ func (r *Runner) RunStreamCancel(cancel <-chan struct{}, emit func(JobResult)) (
 	start := time.Now()
 	rep = &Report{Workers: r.workers}
 	_, interrupted = pool.StreamIndexedCancel(len(r.jobs), r.workers, cancel, r.runJobSafe, func(_ int, jr JobResult) {
-		rep.add(jr)
+		rep.Add(jr)
 		if emit != nil {
 			emit(jr)
 		}
 	})
-	return rep.finish(time.Since(start)), interrupted, nil
+	return rep.Finish(time.Since(start)), interrupted, nil
 }
 
 // RunIndices executes only the named jobs (the remainder of an
