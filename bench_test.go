@@ -83,8 +83,9 @@ func BenchmarkTable4(b *testing.B) {
 	for _, app := range apps.All() {
 		app := app
 		b.Run(app.Name, func(b *testing.B) {
-			r, err := fleet.NewRunner(p, fleet.Spec{
-				Apps: []string{app.Name}, NoScenarios: true, Workers: 2,
+			r, err := fleet.NewRunner(p, fleet.BatchSpec{
+				Matrix: fleet.MatrixSpec{Apps: []string{app.Name}, NoScenarios: true},
+				Exec:   fleet.ExecSpec{Workers: 2},
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -289,7 +290,7 @@ func BenchmarkSimulator_ThroughputSlowPaths(b *testing.B) { benchmarkThroughput(
 // and decode caches) are prepared once, untimed.
 func BenchmarkSimulator_FleetMatrix(b *testing.B) {
 	p := newPipeline(b)
-	r, err := fleet.NewRunner(p, fleet.Spec{Workers: runtime.GOMAXPROCS(0)})
+	r, err := fleet.NewRunner(p, fleet.BatchSpec{Exec: fleet.ExecSpec{Workers: runtime.GOMAXPROCS(0)}})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -5,14 +5,20 @@ package main
 // (see internal/fleet/coord) and merges their journals into out.ndjson
 // — byte-identical to the journal an uninterrupted single-process run
 // writes, whatever the workers did along the way.
+//
+// Workers receive the batch as a serialized fleet.BatchSpec on stdin
+// (`-spec -`) — the coordinator's own resolved spec with the pool size
+// swapped for the per-worker thread count — so coordinator and worker
+// cannot diverge on what the batch is: the worker re-resolves the spec
+// to the identical matrix and fingerprint, and shard-journal
+// validation rejects anything else.
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
 	"time"
 
 	"eilid/internal/fleet"
@@ -29,53 +35,53 @@ type coordOpts struct {
 	restarts      int
 	backoff       time.Duration
 	shardDir      string
+	via           string // -worker-via: command prefix transport ("" = direct exec)
 	faultKill     string
 	faultWedge    string
 	out           string // -json: merged journal destination
 }
 
-// workerArgs rebuilds the eilid-fleet invocation that reproduces this
-// runner's matrix in a worker process, from the canonical resolved
-// spec in the journal header — explicit name lists, never "default to
-// all", so a registry drift between coordinator and worker shows up as
-// a fingerprint mismatch instead of silent wrong results.
-func workerArgs(runner *fleet.Runner, spec fleet.Spec, o coordOpts) []string {
-	js := runner.JournalHeader().Spec
+// workerSpec serializes the spec each worker rebuilds its matrix from:
+// the coordinator's resolved spec with the worker's in-process pool
+// size, and no job-level faults (those are the single-process test
+// harness; coordinated runs inject process-level faults instead).
+func workerSpec(runner *fleet.Runner, o coordOpts) ([]byte, error) {
 	threads := o.workerThreads
 	if threads < 1 {
 		threads = max(1, runtime.GOMAXPROCS(0)/o.procs)
 	}
-	args := []string{
-		"-q",
-		"-workers", strconv.Itoa(threads),
-		"-heartbeat", o.heartbeat.String(),
+	spec := runner.Spec()
+	spec.Exec.Workers = threads
+	spec.Fault = fleet.FaultSpec{}
+	return json.Marshal(spec)
+}
+
+// transportFor picks the worker transport: direct exec, or the
+// -worker-via command prefix (the remote-shell seam).
+func transportFor(via string, stderr io.Writer) (coord.Transport, error) {
+	if via == "" {
+		return coord.ExecSelf(stderr), nil
 	}
-	if len(js.Apps) > 0 {
-		args = append(args, "-apps", strings.Join(js.Apps, ","))
-	} else {
-		args = append(args, "-no-apps")
+	prefix, err := splitCommand(via)
+	if err != nil {
+		return nil, fmt.Errorf("-worker-via: %v", err)
 	}
-	if len(js.Scenarios) > 0 {
-		args = append(args, "-scenarios", strings.Join(js.Scenarios, ","))
-	} else {
-		args = append(args, "-no-scenarios")
-	}
-	args = append(args, "-defenses", strings.Join(js.Defenses, ","))
-	args = append(args, "-repeat", strconv.Itoa(js.Repeat))
-	if js.GenCount > 0 {
-		args = append(args, "-gen", strconv.Itoa(js.GenCount), "-seed", strconv.FormatUint(js.GenSeed, 10))
-	}
-	if spec.NoRecycle {
-		args = append(args, "-recycle=false")
-	}
-	args = append(args, "-job-timeout", spec.JobTimeout.String())
-	args = append(args, "-retries", strconv.Itoa(spec.MaxRetries))
-	return args
+	return coord.CommandTransport(prefix, stderr)
 }
 
 // runCoordinator plans, supervises and merges one coordinated batch.
-func runCoordinator(runner *fleet.Runner, spec fleet.Spec, o coordOpts, cancel <-chan struct{}, quiet bool, stdout, stderr io.Writer) int {
+func runCoordinator(runner *fleet.Runner, o coordOpts, cancel <-chan struct{}, quiet bool, stdout, stderr io.Writer) int {
 	fault, err := coord.ParseFaults(o.faultKill, o.faultWedge)
+	if err != nil {
+		fmt.Fprintln(stderr, "eilid-fleet:", err)
+		return 2
+	}
+	spec, err := workerSpec(runner, o)
+	if err != nil {
+		fmt.Fprintln(stderr, "eilid-fleet:", err)
+		return 1
+	}
+	transport, err := transportFor(o.via, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "eilid-fleet:", err)
 		return 2
@@ -91,23 +97,35 @@ func runCoordinator(runner *fleet.Runner, spec fleet.Spec, o coordOpts, cancel <
 		}
 		cleanup = true
 	}
+	// On any exit that may leave shard journals behind, tell the user
+	// where they are: they are the crash forensics, and a silently
+	// retained temp dir is a leak, not a feature.
+	retained := func() {
+		if cleanup {
+			fmt.Fprintf(stderr, "eilid-fleet: shard journals retained for forensics in %s\n", shardDir)
+		}
+	}
 
 	c, err := coord.New(coord.Config{
 		Runner:      runner,
 		Workers:     o.procs,
 		Shards:      o.shards,
-		WorkerArgs:  workerArgs(runner, spec, o),
+		Spec:        spec,
 		Heartbeat:   o.heartbeat,
 		Liveness:    o.liveness,
 		MaxRestarts: o.restarts,
 		Backoff:     o.backoff,
 		Dir:         shardDir,
 		Fault:       fault,
-		Spawn:       coord.ExecSelf(stderr),
+		Transport:   transport,
 		Log:         stderr,
 		Cancel:      cancel,
 	})
 	if err != nil {
+		// Nothing ran yet, so the temp dir holds nothing worth keeping.
+		if cleanup {
+			os.RemoveAll(shardDir)
+		}
 		fmt.Fprintln(stderr, "eilid-fleet:", err)
 		return 2
 	}
@@ -116,11 +134,13 @@ func runCoordinator(runner *fleet.Runner, spec fleet.Spec, o coordOpts, cancel <
 	sum.Render(stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "eilid-fleet: coordinator:", err)
+		retained()
 		return 1
 	}
 	if interrupted {
 		fmt.Fprintf(stderr, "eilid-fleet: interrupted after %d/%d jobs; complete with: eilid-fleet -resume %s\n",
 			rep.Jobs, len(runner.Jobs()), o.out)
+		retained()
 		return 3
 	}
 	// Shard journals are crash forensics; a clean complete run does not

@@ -124,13 +124,30 @@ func TestFleetWorkerShardCLI(t *testing.T) {
 	}
 }
 
+// transports parametrizes the differential tests over the worker
+// transport: direct exec, and the -worker-via command-prefix seam
+// through a real shell. The `exec "$0" "$@"` wrapper replaces the
+// shell with the worker (same PID), so the coordinator's SIGKILLs land
+// on the worker itself — the byte-identity bar must hold unchanged.
+var transports = []struct {
+	name string
+	via  []string
+}{
+	{"exec", nil},
+	{"via-sh", []string{"-worker-via", `sh -c 'exec "$0" "$@"'`}},
+}
+
 func TestFleetCoordinatorByteIdentical(t *testing.T) {
 	want := singleJournal(t, 40)
-	for _, procs := range []int{2, 4} {
-		got, _ := coordJournal(t, 40, "-coordinator", fmt.Sprint(procs))
-		if !bytes.Equal(got, want) {
-			t.Fatalf("%d-process merged journal differs from single-process journal", procs)
-		}
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			for _, procs := range []int{2, 4} {
+				got, _ := coordJournal(t, 40, append([]string{"-coordinator", fmt.Sprint(procs)}, tr.via...)...)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%d-process merged journal differs from single-process journal", procs)
+				}
+			}
+		})
 	}
 }
 
@@ -141,15 +158,19 @@ func TestFleetCoordinatorByteIdentical(t *testing.T) {
 // shard 0), 30 (middle of shard 1) and 59 (last of shard 2).
 func TestFleetCoordinatorSIGKILL(t *testing.T) {
 	want := singleJournal(t, 30)
-	got, errb := coordJournal(t, 30,
-		"-coordinator", "3",
-		"-heartbeat", "25ms", "-liveness", "5s",
-		"-fault-kill-worker", "0@0,1@30,2@59")
-	if !bytes.Equal(got, want) {
-		t.Fatalf("merged journal differs after SIGKILLs at shard edges\nstderr: %s", errb)
-	}
-	if faultKills, _ := summaryCounts(t, errb); faultKills != 3 {
-		t.Errorf("summary reports %d fault kills, want 3:\n%s", faultKills, errb)
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			got, errb := coordJournal(t, 30, append([]string{
+				"-coordinator", "3",
+				"-heartbeat", "25ms", "-liveness", "5s",
+				"-fault-kill-worker", "0@0,1@30,2@59"}, tr.via...)...)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("merged journal differs after SIGKILLs at shard edges\nstderr: %s", errb)
+			}
+			if faultKills, _ := summaryCounts(t, errb); faultKills != 3 {
+				t.Errorf("summary reports %d fault kills, want 3:\n%s", faultKills, errb)
+			}
+		})
 	}
 }
 
@@ -157,15 +178,19 @@ func TestFleetCoordinatorWedge(t *testing.T) {
 	want := singleJournal(t, 20)
 	// Shard 1 of [20, 40) wedges silently after job 25; only the
 	// liveness deadline can unstick the batch.
-	got, errb := coordJournal(t, 20,
-		"-coordinator", "2",
-		"-heartbeat", "20ms", "-liveness", "2s",
-		"-fault-wedge-worker", "1@25")
-	if !bytes.Equal(got, want) {
-		t.Fatalf("merged journal differs after a wedged worker\nstderr: %s", errb)
-	}
-	if _, livenessKills := summaryCounts(t, errb); livenessKills < 1 {
-		t.Errorf("summary does not report the liveness kill:\n%s", errb)
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			got, errb := coordJournal(t, 20, append([]string{
+				"-coordinator", "2",
+				"-heartbeat", "20ms", "-liveness", "2s",
+				"-fault-wedge-worker", "1@25"}, tr.via...)...)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("merged journal differs after a wedged worker\nstderr: %s", errb)
+			}
+			if _, livenessKills := summaryCounts(t, errb); livenessKills < 1 {
+				t.Errorf("summary does not report the liveness kill:\n%s", errb)
+			}
+		})
 	}
 }
 

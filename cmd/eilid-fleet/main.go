@@ -14,14 +14,23 @@
 //	            [-fault-panic i,j] [-fault-transient i,j] [-fault-hang i]
 //	            [-fault-seed S -fault-panics N -fault-transients N]
 //	            [-interrupt-after K]
+//	eilid-fleet -spec batch.json [execution flags] | -dump-spec [matrix flags]
 //	eilid-fleet -resume out.ndjson [-workers N] [-recycle=β] [-q]
 //	eilid-fleet -coordinator N [-shards M] [-worker-threads T]
 //	            [-heartbeat D] [-liveness D] [-worker-restarts R]
-//	            [-backoff D] [-shard-dir DIR]
+//	            [-backoff D] [-shard-dir DIR] [-worker-via 'CMD …']
 //	            [-fault-kill-worker K@J,…] [-fault-wedge-worker K@J,…]
 //	            -json out.ndjson [matrix flags as above]
-//	eilid-fleet -shard lo:hi -journal shard.ndjson [matrix flags]
+//	eilid-fleet -spec - -shard lo:hi -journal shard.ndjson
 //	            [-heartbeat D] [-stall-after J -stall-mode kill|wedge]
+//
+// Every mode is a view over one canonical fleet.BatchSpec: the matrix
+// and fault flags parse into it, `-spec batch.json` loads it from JSON
+// instead (`-` reads stdin; explicitly-set execution flags still
+// override), and `-dump-spec` prints the resolved canonical spec and
+// exits — so a batch can be captured, versioned and replayed exactly.
+// The journal header fingerprint is derived from the same spec, and a
+// spec-driven run is byte-identical to the equivalent flag-driven run.
 //
 // -defenses selects the defense columns from the registry
 // (core.Defenses); the default runs every registered defense.
@@ -59,13 +68,19 @@
 //
 // -coordinator N shards the resolved job-index space across N
 // supervised eilid-fleet worker subprocesses (see internal/fleet/coord
-// and README "Distributed execution") and merges their shard journals
-// into -json, byte-identical to an uninterrupted single-process run.
-// Workers that wedge or die — including kill -9 — are restarted with
-// exponential backoff and their unfinished indices reassigned, resuming
-// from the dead worker's torn journal; when a shard's restart budget
-// (-worker-restarts) is exhausted its remainder runs in-process and the
-// batch completes in degraded mode rather than failing.
+// and README "Architecture") and merges their shard journals into
+// -json, byte-identical to an uninterrupted single-process run. Each
+// worker receives the serialized BatchSpec on stdin (`-spec -`) and
+// rebuilds the identical matrix from it — nothing about the batch is
+// replayed through flags. Workers that wedge or die — including
+// kill -9 — are restarted with exponential backoff and their
+// unfinished indices reassigned, resuming from the dead worker's torn
+// journal; when a shard's restart budget (-worker-restarts) is
+// exhausted its remainder runs in-process and the batch completes in
+// degraded mode rather than failing. -worker-via launches every worker
+// through a command prefix (e.g. -worker-via 'sh -c "exec \"$0\"
+// \"$@\""', or an ssh command) instead of direct exec — the remote-
+// transport seam, with the same byte-identical merge contract.
 // -fault-kill-worker and -fault-wedge-worker inject deterministic
 // process-level faults for testing. -shard/-journal is the worker side
 // of the protocol; it is spawned by the coordinator but can be invoked
@@ -82,8 +97,6 @@
 package main
 
 import (
-	"bufio"
-	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -129,36 +142,6 @@ func splitInts(s string) ([]int, error) {
 	return out, nil
 }
 
-// journalWriter is the NDJSON sink with every write, flush and close
-// error surfaced: a journal that looks complete but lost its tail to a
-// full disk is worse than a loud failure.
-type journalWriter struct {
-	f *os.File // nil when the journal goes to stdout
-	w *bufio.Writer
-}
-
-func (jw *journalWriter) result(jr fleet.JobResult) error {
-	if err := fleet.WriteNDJSONLine(jw.w, jr); err != nil {
-		return err
-	}
-	// Flush per job: a consumer tailing the file sees every result the
-	// moment its job (and its predecessors) finish, and a crash loses at
-	// most the OS buffer, never silently drops the middle of the file.
-	return jw.w.Flush()
-}
-
-// close flushes and closes the sink, reporting the first error; the
-// stdout variant only flushes.
-func (jw *journalWriter) close() error {
-	err := jw.w.Flush()
-	if jw.f != nil {
-		if cerr := jw.f.Close(); err == nil {
-			err = cerr
-		}
-	}
-	return err
-}
-
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("eilid-fleet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -171,6 +154,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defensesFlag := fs.String("defenses", "", "comma-separated defense columns (default: all registered)")
 	gen := fs.Int("gen", 0, "number of generated attack variants to add (0 = none)")
 	seed := fs.Uint64("seed", 1, "seed for the generated dimension")
+	specFile := fs.String("spec", "", "load the batch spec from this JSON file (- for stdin) instead of the matrix/fault flags")
+	dumpSpec := fs.Bool("dump-spec", false, "print the resolved canonical batch spec as JSON and exit")
 	jsonOut := fs.String("json", "", "stream the results as a resumable NDJSON journal to this file (- for stdout)")
 	resume := fs.String("resume", "", "resume an interrupted journal: run the remaining jobs and compact the file")
 	verify := fs.Bool("verify", false, "replay sequentially and require byte-identical results")
@@ -192,6 +177,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workerRestarts := fs.Int("worker-restarts", 2, "restarts per shard before its remainder runs in-process (degraded mode)")
 	backoff := fs.Duration("backoff", 200*time.Millisecond, "initial worker-restart backoff, doubling per restart")
 	shardDir := fs.String("shard-dir", "", "directory for shard journals (default: a temp dir, removed on success)")
+	workerVia := fs.String("worker-via", "", "coordinator: launch workers through this command prefix (e.g. 'sh -c' wrapper or an ssh command) instead of direct exec")
 	faultKillWorker := fs.String("fault-kill-worker", "", "coordinator fault injection: SIGKILL shard K's worker right after it journals job J (comma-separated K@J)")
 	faultWedgeWorker := fs.String("fault-wedge-worker", "", "coordinator fault injection: silently wedge shard K's worker after job J (comma-separated K@J)")
 	shardFlag := fs.String("shard", "", "worker mode: run only job indices lo:hi and journal them to -journal")
@@ -205,6 +191,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 2
 	}
+	// set records which flags were given explicitly — the difference
+	// between "the user asked for this value" and "the flag default",
+	// which drives both conflict detection and spec-file overrides.
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	// Nonsense execution knobs are usage errors (exit 2), caught before
 	// any work: a zero-worker pool would deadlock and a negative
@@ -232,12 +223,77 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "eilid-fleet: worker mode needs both -shard and -journal")
 		return 2
 	}
-	if workerMode && (*coordinator != 0 || *resume != "" || *verify || *jsonOut != "" || *interruptAfter >= 0) {
-		fmt.Fprintln(stderr, "eilid-fleet: -shard/-journal (worker mode) cannot combine with -coordinator, -resume, -verify, -json or -interrupt-after")
+	if workerMode && (*coordinator != 0 || *resume != "" || *verify || *jsonOut != "" || *interruptAfter >= 0 || *dumpSpec) {
+		fmt.Fprintln(stderr, "eilid-fleet: -shard/-journal (worker mode) cannot combine with -coordinator, -resume, -verify, -json, -interrupt-after or -dump-spec")
 		return 2
 	}
+	if *workerVia != "" && *coordinator == 0 {
+		fmt.Fprintln(stderr, "eilid-fleet: -worker-via only applies to -coordinator mode")
+		return 2
+	}
+
+	var resumeConflicts []string
+	if *resume != "" {
+		// -resume rebuilds the matrix from the journal header; flags
+		// that would select a different matrix (or re-inject faults)
+		// contradict that and are rejected rather than ignored.
+		incompatible := map[string]bool{
+			"apps": true, "scenarios": true, "no-apps": true, "no-scenarios": true,
+			"defenses": true, "repeat": true, "gen": true, "seed": true,
+			"json": true, "verify": true, "fault-panic": true, "fault-transient": true,
+			"fault-hang": true, "fault-seed": true, "fault-panics": true,
+			"fault-transients": true, "interrupt-after": true,
+			"coordinator": true, "shards": true, "shard": true, "journal": true,
+			"stall-after": true, "stall-mode": true,
+			"fault-kill-worker": true, "fault-wedge-worker": true,
+			"spec": true, "dump-spec": true, "worker-via": true,
+		}
+		fs.Visit(func(f *flag.Flag) {
+			if incompatible[f.Name] {
+				resumeConflicts = append(resumeConflicts, "-"+f.Name)
+			}
+		})
+		if len(resumeConflicts) > 0 {
+			fmt.Fprintf(stderr, "eilid-fleet: -resume takes the matrix from the journal; drop %s\n", strings.Join(resumeConflicts, ", "))
+			return 2
+		}
+	}
+
+	// Everything below the resume path runs over one canonical
+	// fleet.BatchSpec, assembled from the flags or loaded via -spec.
+	var spec fleet.BatchSpec
+	if *resume == "" {
+		var code int
+		spec, code = assembleSpec(specFlags{
+			specFile:       *specFile,
+			apps:           *appsFlag,
+			scenarios:      *scenariosFlag,
+			noApps:         *noApps,
+			noScenarios:    *noScenarios,
+			defenses:       *defensesFlag,
+			repeat:         *repeat,
+			gen:            *gen,
+			seed:           *seed,
+			workers:        *workers,
+			recycle:        *recycle,
+			jobTimeout:     *jobTimeout,
+			retries:        *retries,
+			faultPanic:     *faultPanic,
+			faultTransient: *faultTransient,
+			faultHang:      *faultHang,
+			set:            set,
+		}, stderr)
+		if code != 0 {
+			return code
+		}
+	}
+
+	if *dumpSpec {
+		return runDumpSpec(spec, stdout, stderr)
+	}
+
 	if *coordinator > 0 {
-		if *resume != "" || *verify || *interruptAfter >= 0 {
+		if *verify || *interruptAfter >= 0 {
 			fmt.Fprintln(stderr, "eilid-fleet: -coordinator cannot combine with -resume, -verify or -interrupt-after")
 			return 2
 		}
@@ -245,7 +301,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "eilid-fleet: -coordinator needs -json FILE for the merged journal")
 			return 2
 		}
-		if *faultPanic != "" || *faultTransient != "" || *faultHang != "" || *faultSeed != 0 {
+		if spec.Fault.Enabled() || *faultSeed != 0 {
 			fmt.Fprintln(stderr, "eilid-fleet: -coordinator injects process-level faults (-fault-kill-worker, -fault-wedge-worker); drop the job-level -fault-* flags")
 			return 2
 		}
@@ -282,62 +338,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *resume != "" {
-		// -resume rebuilds the matrix from the journal header; flags
-		// that would select a different matrix (or re-inject faults)
-		// contradict that and are rejected rather than ignored.
-		incompatible := map[string]bool{
-			"apps": true, "scenarios": true, "no-apps": true, "no-scenarios": true,
-			"defenses": true, "repeat": true, "gen": true, "seed": true,
-			"json": true, "verify": true, "fault-panic": true, "fault-transient": true,
-			"fault-hang": true, "fault-seed": true, "fault-panics": true,
-			"fault-transients": true, "interrupt-after": true,
-			"coordinator": true, "shards": true, "shard": true, "journal": true,
-			"stall-after": true, "stall-mode": true,
-			"fault-kill-worker": true, "fault-wedge-worker": true,
-		}
-		var conflicts []string
-		fs.Visit(func(f *flag.Flag) {
-			if incompatible[f.Name] {
-				conflicts = append(conflicts, "-"+f.Name)
-			}
-		})
-		if len(conflicts) > 0 {
-			fmt.Fprintf(stderr, "eilid-fleet: -resume takes the matrix from the journal; drop %s\n", strings.Join(conflicts, ", "))
-			return 2
-		}
-		return runResume(pipeline, *resume, fleet.Spec{
+		return runResume(pipeline, *resume, fleet.ExecSpec{
 			Workers:    *workers,
 			NoRecycle:  !*recycle,
-			JobTimeout: *jobTimeout,
+			JobTimeout: fleet.Duration(*jobTimeout),
 			MaxRetries: *retries,
 		}, cancel, *quiet, stdout, stderr)
 	}
 
-	panicAt, err1 := splitInts(*faultPanic)
-	transientAt, err2 := splitInts(*faultTransient)
-	hangAt, err3 := splitInts(*faultHang)
-	for _, e := range []error{err1, err2, err3} {
-		if e != nil {
-			fmt.Fprintln(stderr, "eilid-fleet:", e)
-			return 2
-		}
-	}
-	fault := fleet.FaultSpec{PanicAt: panicAt, TransientAt: transientAt, HangAt: hangAt}
-
-	spec := fleet.Spec{
-		Apps:        splitList(*appsFlag),
-		Scenarios:   splitList(*scenariosFlag),
-		NoApps:      *noApps,
-		NoScenarios: *noScenarios,
-		Defenses:    splitList(*defensesFlag),
-		Repeat:      *repeat,
-		Workers:     *workers,
-		NoRecycle:   !*recycle,
-		Generated:   fleet.GeneratedSpec{Seed: *seed, Count: *gen},
-		JobTimeout:  *jobTimeout,
-		MaxRetries:  *retries,
-		Fault:       fault,
-	}
 	runner, err := fleet.NewRunner(pipeline, spec)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -360,7 +368,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runWorker(runner, *shardFlag, *journalFlag, *heartbeat, *stallAfter, *stallMode, cancel, stderr)
 	}
 	if *coordinator > 0 {
-		return runCoordinator(runner, spec, coordOpts{
+		return runCoordinator(runner, coordOpts{
 			procs:         *coordinator,
 			shards:        *shardsFlag,
 			workerThreads: *workerThreads,
@@ -369,278 +377,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			restarts:      *workerRestarts,
 			backoff:       *backoff,
 			shardDir:      *shardDir,
+			via:           *workerVia,
 			faultKill:     *faultKillWorker,
 			faultWedge:    *faultWedgeWorker,
 			out:           *jsonOut,
 		}, cancel, *quiet, stdout, stderr)
 	}
 
-	// The NDJSON journal sink: a flushed writer when -json is set.
-	var jw *journalWriter
-	if *jsonOut != "" {
-		jw = &journalWriter{}
-		if *jsonOut == "-" {
-			// stdout is the NDJSON stream: interleaving the human table
-			// would corrupt it for line-oriented consumers.
-			*quiet = true
-			jw.w = bufio.NewWriter(stdout)
-		} else {
-			f, err := os.Create(*jsonOut)
-			if err != nil {
-				fmt.Fprintln(stderr, err)
-				return 1
-			}
-			jw.f = f
-			jw.w = bufio.NewWriter(f)
-		}
-		if err := fleet.WriteJournalHeader(jw.w, runner.JournalHeader()); err == nil {
-			err = jw.w.Flush()
-		}
-		if err != nil {
-			fmt.Fprintln(stderr, "eilid-fleet: writing journal header:", err)
-			jw.close()
-			return 1
-		}
-	}
-
-	emitted := 0
-	if *interruptAfter == 0 {
-		interrupt()
-	}
-	emit := func(jr fleet.JobResult) error {
-		if !*quiet {
-			jr.RenderRow(stdout)
-		}
-		if jw != nil {
-			if err := jw.result(jr); err != nil {
-				return err
-			}
-		}
-		emitted++
-		if *interruptAfter > 0 && emitted == *interruptAfter {
-			interrupt()
-		}
-		return nil
-	}
-
-	var report *fleet.Report
-	interrupted := false
-	if *verify {
-		// Verification compares the full concurrent result set against a
-		// sequential replay, so this path aggregates in memory.
-		rep, err := runner.Run()
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 1
-		}
-		seq, err := runner.RunSequential()
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 1
-		}
-		a, errA := rep.ResultsJSON()
-		b, errB := seq.ResultsJSON()
-		if errA != nil || errB != nil {
-			fmt.Fprintln(stderr, "verify: marshalling failed:", errA, errB)
-			return 1
-		}
-		if !bytes.Equal(a, b) {
-			fmt.Fprintln(stderr, "verify: FAILED — concurrent results differ from the sequential replay")
-			return 1
-		}
-		fmt.Fprintf(stdout, "verify: %d-worker run byte-identical to sequential replay (%d jobs)\n",
-			rep.Workers, rep.Jobs)
-		if !*quiet {
-			fleet.RenderTableHeader(stdout)
-		}
-		for _, jr := range rep.Results {
-			if err := emit(jr); err != nil {
-				fmt.Fprintln(stderr, err)
-				if jw != nil {
-					jw.close()
-				}
-				return 1
-			}
-		}
-		report = rep
-	} else {
-		if !*quiet {
-			fleet.RenderTableHeader(stdout)
-		}
-		var emitErr error
-		rep, intr, err := runner.RunStreamCancel(cancel, func(jr fleet.JobResult) {
-			if emitErr == nil {
-				emitErr = emit(jr)
-			}
-		})
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 1
-		}
-		if emitErr != nil {
-			fmt.Fprintln(stderr, emitErr)
-			if jw != nil {
-				jw.close()
-			}
-			return 1
-		}
-		report = rep
-		interrupted = intr
-	}
-
-	if interrupted {
-		if jw != nil {
-			err := fleet.WriteJournalInterrupted(jw.w, emitted, len(runner.Jobs()))
-			if cerr := jw.close(); err == nil {
-				err = cerr
-			}
-			if err != nil {
-				fmt.Fprintln(stderr, "eilid-fleet: writing interrupted journal:", err)
-				return 1
-			}
-			fmt.Fprintf(stderr, "eilid-fleet: interrupted after %d/%d jobs; complete with: eilid-fleet -resume %s\n",
-				emitted, len(runner.Jobs()), *jsonOut)
-		} else {
-			fmt.Fprintf(stderr, "eilid-fleet: interrupted after %d/%d jobs (no -json journal to resume from)\n",
-				emitted, len(runner.Jobs()))
-		}
-		return 3
-	}
-
-	if !*quiet {
-		report.RenderSummary(stdout)
-	}
-	if jw != nil {
-		err := fleet.WriteJournalSummary(jw.w, report)
-		if cerr := jw.close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			fmt.Fprintln(stderr, "eilid-fleet: writing journal summary:", err)
-			return 1
-		}
-	}
-	if report.Failures > 0 || report.ChecksFailed > 0 {
-		return 1
-	}
-	return 0
-}
-
-// runResume completes an interrupted (or fault-failed) journal: rebuild
-// the matrix from the header, validate it, run the remaining jobs while
-// appending their results crash-safely, then compact the file into
-// canonical job order — byte-identical to an uninterrupted run.
-func runResume(pipeline *core.Pipeline, path string, execSpec fleet.Spec, cancel <-chan struct{}, quiet bool, stdout, stderr io.Writer) int {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		fmt.Fprintln(stderr, "eilid-fleet: resume:", err)
-		return 1
-	}
-	j, err := fleet.ParseJournal(data)
-	if err != nil {
-		fmt.Fprintln(stderr, "eilid-fleet: resume:", err)
-		return 2
-	}
-	if j.Truncated {
-		fmt.Fprintln(stderr, "eilid-fleet: resume: journal ends in a torn write (crash mid-job?); the partial line is ignored")
-	}
-	spec := j.Header.Spec.Spec()
-	spec.Workers = execSpec.Workers
-	spec.NoRecycle = execSpec.NoRecycle
-	spec.JobTimeout = execSpec.JobTimeout
-	spec.MaxRetries = execSpec.MaxRetries
-	runner, err := fleet.NewRunner(pipeline, spec)
-	if err != nil {
-		fmt.Fprintln(stderr, "eilid-fleet: resume: rebuilding matrix:", err)
-		return 2
-	}
-	if err := j.Validate(runner); err != nil {
-		fmt.Fprintln(stderr, "eilid-fleet: resume:", err)
-		return 2
-	}
-	remaining := j.Remaining()
-	if len(remaining) == 0 && j.Complete && !j.Truncated {
-		fmt.Fprintf(stdout, "resume: %s is already complete (%d jobs)\n", path, j.Header.Jobs)
-		return 0
-	}
-
-	start := time.Now()
-	if len(remaining) > 0 {
-		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
-		if err != nil {
-			fmt.Fprintln(stderr, "eilid-fleet: resume:", err)
-			return 1
-		}
-		jw := &journalWriter{f: f, w: bufio.NewWriter(f)}
-		if !quiet {
-			fmt.Fprintf(stdout, "resume: %d/%d jobs already journalled, running %d\n",
-				j.Header.Jobs-len(remaining), j.Header.Jobs, len(remaining))
-			fleet.RenderTableHeader(stdout)
-		}
-		var emitErr error
-		ran := 0
-		interrupted, err := runner.RunIndices(remaining, cancel, func(jr fleet.JobResult) {
-			if emitErr != nil {
-				return
-			}
-			if !quiet {
-				jr.RenderRow(stdout)
-			}
-			// Append before recording: if the write fails the job is
-			// still "remaining" on the next resume.
-			if emitErr = jw.result(jr); emitErr == nil {
-				j.Results[jr.Index] = jr
-				ran++
-			}
-		})
-		if err == nil {
-			err = emitErr
-		}
-		if err != nil {
-			fmt.Fprintln(stderr, "eilid-fleet: resume:", err)
-			jw.close()
-			return 1
-		}
-		if interrupted {
-			werr := fleet.WriteJournalInterrupted(jw.w, j.Header.Jobs-len(remaining)+ran, j.Header.Jobs)
-			if cerr := jw.close(); werr == nil {
-				werr = cerr
-			}
-			if werr != nil {
-				fmt.Fprintln(stderr, "eilid-fleet: resume: writing interrupted journal:", werr)
-				return 1
-			}
-			fmt.Fprintf(stderr, "eilid-fleet: resume interrupted with %d jobs still to run; resume again\n",
-				len(remaining)-ran)
-			return 3
-		}
-		if err := jw.close(); err != nil {
-			fmt.Fprintln(stderr, "eilid-fleet: resume:", err)
-			return 1
-		}
-	}
-
-	merged, err := j.Merged()
-	if err != nil {
-		fmt.Fprintln(stderr, "eilid-fleet: resume:", err)
-		return 1
-	}
-	report := fleet.Aggregate(merged, runner.Workers(), time.Since(start))
-	// Compact the journal into canonical order — header, all job lines
-	// by index, deterministic summary. WriteJournalFile fsyncs the temp
-	// file before the rename and the directory after it, so neither a
-	// crash nor a power loss can leave a torn or empty file where the
-	// complete append-order journal used to be.
-	if err := fleet.WriteJournalFile(path, runner.JournalHeader(), merged, report); err != nil {
-		fmt.Fprintln(stderr, "eilid-fleet: resume: compacting journal:", err)
-		return 1
-	}
-	if !quiet {
-		report.RenderSummary(stdout)
-	}
-	fmt.Fprintf(stdout, "resume: %s complete (%d jobs, compacted to canonical order)\n", path, j.Header.Jobs)
-	if report.Failures > 0 || report.ChecksFailed > 0 {
-		return 1
-	}
-	return 0
+	return runBatch(runner, batchOpts{
+		jsonOut:        *jsonOut,
+		verify:         *verify,
+		quiet:          *quiet,
+		interruptAfter: *interruptAfter,
+	}, cancel, interrupt, stdout, stderr)
 }

@@ -18,7 +18,7 @@ type Config struct {
 	// Runner holds the resolved matrix. The coordinator uses it to
 	// validate shard journals, compute reassignment sets, and execute
 	// degraded shards in-process; workers rebuild the identical matrix
-	// from WorkerArgs.
+	// from Spec.
 	Runner *fleet.Runner
 
 	// Workers is how many worker processes run concurrently (slots).
@@ -27,12 +27,12 @@ type Config struct {
 	Workers int
 	Shards  int
 
-	// WorkerArgs are the eilid-fleet arguments that reproduce the
-	// matrix and execution knobs in a worker process (apps, defenses,
-	// gen seed/count, thread count, heartbeat interval …). The
-	// coordinator appends the per-attempt -shard/-journal pair and any
-	// injected-fault flags.
-	WorkerArgs []string
+	// Spec is the serialized fleet.BatchSpec each worker receives on
+	// stdin and rebuilds its matrix from. Its fingerprint must match
+	// Runner's — shard-journal validation enforces that — so the
+	// coordinator and its workers cannot silently diverge on what the
+	// batch is.
+	Spec []byte
 
 	// Heartbeat is the interval workers announce liveness at;
 	// Liveness is how long a shard journal may go without growing
@@ -61,9 +61,9 @@ type Config struct {
 	// Fault injects deterministic worker kills and wedges.
 	Fault FaultSpec
 
-	// Spawn starts worker processes (ExecSelf in production; tests
-	// inject fakes).
-	Spawn Spawner
+	// Transport starts worker processes (ExecSelf or CommandTransport
+	// in production; tests inject fakes).
+	Transport Transport
 
 	// Log receives human-readable supervision events (restarts,
 	// discarded journals, degraded shards); nil discards them.
@@ -131,8 +131,11 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.Runner == nil {
 		return nil, fmt.Errorf("coord: Config.Runner is required")
 	}
-	if cfg.Spawn == nil {
-		return nil, fmt.Errorf("coord: Config.Spawn is required")
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("coord: Config.Transport is required")
+	}
+	if len(cfg.Spec) == 0 {
+		return nil, fmt.Errorf("coord: Config.Spec is required")
 	}
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("coord: Workers must be >= 1, got %d", cfg.Workers)
@@ -345,8 +348,12 @@ func (c *Coordinator) attemptOnce(st *shardState, attempt int) (done, cancelled 
 	}
 	defer rd.Close()
 
-	args := append(append([]string(nil), c.cfg.WorkerArgs...),
-		"-shard", fmt.Sprintf("%d:%d", lo, hi), "-journal", path)
+	// The worker protocol: the batch itself arrives as the serialized
+	// spec on stdin (-spec -); argv carries only the per-attempt
+	// assignment and supervision parameters.
+	args := []string{"-spec", "-", "-q",
+		"-shard", fmt.Sprintf("%d:%d", lo, hi), "-journal", path,
+		"-heartbeat", c.cfg.Heartbeat.String()}
 	if attempt == 1 {
 		// Injected faults fire on the first attempt only: restarted
 		// workers run clean, so the faulted batch converges.
@@ -357,7 +364,7 @@ func (c *Coordinator) attemptOnce(st *shardState, attempt int) (done, cancelled 
 		}
 	}
 
-	proc, err := c.cfg.Spawn(args)
+	proc, err := c.cfg.Transport.Start(args, c.cfg.Spec)
 	if err != nil {
 		c.logf("shard %d attempt %d: spawn: %v", st.shard.ID, attempt, err)
 		return false, false

@@ -1,6 +1,6 @@
 package coord
 
-// Supervisor unit suite: a fake spawner impersonates worker processes
+// Supervisor unit suite: a fake transport impersonates worker processes
 // by writing real shard journals from precomputed results, so every
 // supervision path — completion, announced kills, silent wedges,
 // garbage journals, restart exhaustion, cancellation — runs fast and
@@ -10,6 +10,7 @@ package coord
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -22,17 +23,25 @@ import (
 	"eilid/internal/fleet"
 )
 
+// transportFunc adapts a plain function to the Transport interface, the
+// same way http.HandlerFunc adapts handlers.
+type transportFunc func(args []string, spec []byte) (Proc, error)
+
+func (f transportFunc) Start(args []string, spec []byte) (Proc, error) { return f(args, spec) }
+
 func newCoordRunner(t *testing.T) *fleet.Runner {
 	t.Helper()
 	p, err := core.NewPipeline(core.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := fleet.NewRunner(p, fleet.Spec{
-		NoApps: true, NoScenarios: true,
-		Defenses:  []string{"baseline", "eilid"},
-		Generated: fleet.GeneratedSpec{Seed: 1, Count: 12},
-		Workers:   4,
+	r, err := fleet.NewRunner(p, fleet.BatchSpec{
+		Matrix: fleet.MatrixSpec{
+			NoApps: true, NoScenarios: true,
+			Defenses:  []string{"baseline", "eilid"},
+			Generated: fleet.GeneratedSpec{Seed: 1, Count: 12},
+		},
+		Exec: fleet.ExecSpec{Workers: 4},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -116,8 +125,11 @@ func argVal(args []string, name string) (string, bool) {
 	return "", false
 }
 
-func (ff *fakeFleet) spawner() Spawner {
-	return func(args []string) (Proc, error) {
+// transport ignores the serialized spec — the fake replays precomputed
+// results instead of rebuilding a matrix — but honours the rest of the
+// worker protocol verbatim.
+func (ff *fakeFleet) transport() Transport {
+	return transportFunc(func(args []string, _ []byte) (Proc, error) {
 		ff.mu.Lock()
 		ff.spawns++
 		spawn := ff.spawns
@@ -170,23 +182,28 @@ func (ff *fakeFleet) spawner() Spawner {
 			fleet.WriteJournalShardDone(f, hi-lo)
 		}()
 		return p, nil
-	}
+	})
 }
 
 // newCoord builds a test coordinator with fast supervision timings.
 func newCoord(t *testing.T, r *fleet.Runner, ff *fakeFleet, mut func(*Config)) *Coordinator {
 	t.Helper()
+	spec, err := json.Marshal(r.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := Config{
 		Runner:      r,
 		Workers:     2,
 		Shards:      4,
+		Spec:        spec,
 		Heartbeat:   20 * time.Millisecond,
 		Liveness:    150 * time.Millisecond,
 		MaxRestarts: 2,
 		Backoff:     5 * time.Millisecond,
 		BackoffMax:  20 * time.Millisecond,
 		Dir:         t.TempDir(),
-		Spawn:       ff.spawner(),
+		Transport:   ff.transport(),
 	}
 	if mut != nil {
 		mut(&cfg)
@@ -447,11 +464,15 @@ func TestCoordCancelledWritesResumableJournal(t *testing.T) {
 func TestCoordConfigErrors(t *testing.T) {
 	r := newCoordRunner(t)
 	base := func() Config {
-		return Config{Runner: r, Workers: 2, Dir: t.TempDir(), Spawn: func([]string) (Proc, error) { return nil, nil }}
+		return Config{
+			Runner: r, Workers: 2, Dir: t.TempDir(), Spec: []byte("{}"),
+			Transport: transportFunc(func([]string, []byte) (Proc, error) { return nil, nil }),
+		}
 	}
 	cases := map[string]func(*Config){
 		"no runner":           func(c *Config) { c.Runner = nil },
-		"no spawner":          func(c *Config) { c.Spawn = nil },
+		"no transport":        func(c *Config) { c.Transport = nil },
+		"no spec":             func(c *Config) { c.Spec = nil },
 		"zero workers":        func(c *Config) { c.Workers = 0 },
 		"negative shards":     func(c *Config) { c.Shards = -1 },
 		"negative restarts":   func(c *Config) { c.MaxRestarts = -1 },

@@ -23,9 +23,16 @@ type Proc interface {
 	Wait() error
 }
 
-// Spawner starts one worker process with the given eilid-fleet
-// arguments. The production spawner is ExecSelf; tests inject fakes.
-type Spawner func(args []string) (Proc, error)
+// Transport starts worker processes — the seam a future remote (SSH /
+// thin-RPC) fleet plugs into. args is the worker's protocol argument
+// vector (-spec - -shard lo:hi -journal path …) and spec the serialized
+// fleet.BatchSpec the worker reads from stdin; nothing about the batch
+// crosses the boundary any other way, so a transport only has to carry
+// argv, stdin and a kill signal. Production transports are ExecSelf
+// and CommandTransport; tests inject fakes.
+type Transport interface {
+	Start(args []string, spec []byte) (Proc, error)
+}
 
 type execProc struct{ cmd *exec.Cmd }
 
@@ -52,25 +59,53 @@ func (lw *lockedWriter) Write(p []byte) (int, error) {
 	return lw.w.Write(p)
 }
 
-// ExecSelf spawns workers by re-executing the current binary with
-// WorkerEnv=1. Worker stderr is forwarded to stderr (worker stdout is
-// discarded — a shard worker's real output is its journal file).
-func ExecSelf(stderr io.Writer) Spawner {
-	stderr = &lockedWriter{w: stderr}
-	return func(args []string) (Proc, error) {
-		self, err := os.Executable()
-		if err != nil {
-			return nil, fmt.Errorf("coord: cannot locate own binary: %w", err)
-		}
-		cmd := exec.Command(self, args...)
-		cmd.Env = append(os.Environ(), WorkerEnv+"=1")
-		cmd.Stdout = io.Discard
-		cmd.Stderr = stderr
-		if err := cmd.Start(); err != nil {
-			return nil, err
-		}
-		return execProc{cmd}, nil
+// execTransport starts workers by re-executing the current binary,
+// optionally through a command prefix (CommandTransport). Worker
+// stderr is forwarded to stderr (worker stdout is discarded — a shard
+// worker's real output is its journal file), and the serialized spec
+// is delivered on the worker's stdin.
+type execTransport struct {
+	prefix []string
+	stderr io.Writer
+}
+
+func (t *execTransport) Start(args []string, spec []byte) (Proc, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("coord: cannot locate own binary: %w", err)
 	}
+	argv := append(append(append([]string(nil), t.prefix...), self), args...)
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = append(os.Environ(), WorkerEnv+"=1")
+	cmd.Stdin = bytes.NewReader(spec)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = t.stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return execProc{cmd}, nil
+}
+
+// ExecSelf is the plain local transport: workers are the current
+// binary re-executed with WorkerEnv=1.
+func ExecSelf(stderr io.Writer) Transport {
+	return &execTransport{stderr: &lockedWriter{w: stderr}}
+}
+
+// CommandTransport launches workers through a command prefix — the
+// worker binary and its protocol arguments are appended to prefix and
+// the whole vector executed, with the spec still delivered on stdin.
+// A prefix like {"sh", "-c", `exec "$0" "$@"`} re-enters the worker
+// through a shell exactly the way an {"ssh", "host"} prefix would
+// cross a machine boundary, which is what makes "remote worker" a
+// configuration rather than a new subsystem. The prefix command must
+// propagate stdin, stderr and SIGKILL to the worker (exec'ing it, as
+// the sh example does, is the simplest way).
+func CommandTransport(prefix []string, stderr io.Writer) (Transport, error) {
+	if len(prefix) == 0 {
+		return nil, fmt.Errorf("coord: empty worker command prefix")
+	}
+	return &execTransport{prefix: prefix, stderr: &lockedWriter{w: stderr}}, nil
 }
 
 // faultMarker is the byte signature of an injected-stall announcement

@@ -19,8 +19,8 @@ import (
 // smallSpec is the matrix the crash suite runs: one app and one attack
 // across every registered defense column — 8 jobs, small enough to run
 // many convergence variants, wide enough to cover every column.
-func smallSpec() Spec {
-	return Spec{Apps: []string{"LightSensor"}, Scenarios: []string{"stack-smash"}}
+func smallSpec() BatchSpec {
+	return BatchSpec{Matrix: MatrixSpec{Apps: []string{"LightSensor"}, Scenarios: []string{"stack-smash"}}}
 }
 
 // journalRun executes the runner while writing a journal, cancelling
@@ -73,9 +73,9 @@ func resumeJournal(t *testing.T, p *core.Pipeline, data []byte, workers int, noR
 	if err != nil {
 		t.Fatal(err)
 	}
-	spec := j.Header.Spec.Spec()
-	spec.Workers = workers
-	spec.NoRecycle = noRecycle
+	spec := j.Header.Spec.Batch()
+	spec.Exec.Workers = workers
+	spec.Exec.NoRecycle = noRecycle
 	r, err := NewRunner(p, spec)
 	if err != nil {
 		t.Fatal(err)
@@ -145,7 +145,7 @@ func diffJournals(t *testing.T, label string, want, got []byte) {
 // marker not included).
 func TestCrashResumeByteIdentical(t *testing.T) {
 	p := newPipeline(t)
-	cleanRunner, err := NewRunner(p, func() Spec { s := smallSpec(); s.Workers = 4; return s }())
+	cleanRunner, err := NewRunner(p, func() BatchSpec { s := smallSpec(); s.Exec.Workers = 4; return s }())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestCrashResumeByteIdentical(t *testing.T) {
 func TestCrashResumeGracefulCancel(t *testing.T) {
 	p := newPipeline(t)
 	spec := smallSpec()
-	spec.Workers = 4
+	spec.Exec.Workers = 4
 	r, err := NewRunner(p, spec)
 	if err != nil {
 		t.Fatal(err)
@@ -212,7 +212,7 @@ func TestCrashResumeGracefulCancel(t *testing.T) {
 	diffJournals(t, "cancel-at-0", clean, resumeJournal(t, p, data, 8, false))
 
 	seqSpec := smallSpec()
-	seqSpec.Workers = 1
+	seqSpec.Exec.Workers = 1
 	seq, err := NewRunner(p, seqSpec)
 	if err != nil {
 		t.Fatal(err)
@@ -237,7 +237,7 @@ func TestCrashResumeGracefulCancel(t *testing.T) {
 func TestCrashResumeInterruptedTwice(t *testing.T) {
 	p := newPipeline(t)
 	spec := smallSpec()
-	spec.Workers = 1 // sequential: cancellation between jobs is guaranteed
+	spec.Exec.Workers = 1 // sequential: cancellation between jobs is guaranteed
 	r, err := NewRunner(p, spec)
 	if err != nil {
 		t.Fatal(err)
@@ -292,7 +292,7 @@ func TestCrashResumeInterruptedTwice(t *testing.T) {
 func TestFaultPanicConvergesAfterResume(t *testing.T) {
 	p := newPipeline(t)
 	spec := smallSpec()
-	spec.Workers = 4
+	spec.Exec.Workers = 4
 	clean, err := NewRunner(p, spec)
 	if err != nil {
 		t.Fatal(err)
@@ -333,7 +333,7 @@ func TestFaultPanicConvergesAfterResume(t *testing.T) {
 func TestFaultTransientRetryInvisible(t *testing.T) {
 	p := newPipeline(t)
 	spec := smallSpec()
-	spec.Workers = 4
+	spec.Exec.Workers = 4
 	clean, err := NewRunner(p, spec)
 	if err != nil {
 		t.Fatal(err)
@@ -348,7 +348,7 @@ func TestFaultTransientRetryInvisible(t *testing.T) {
 	data, _ := journalRun(t, retried, -1)
 	diffJournals(t, "transient-retried", cleanJournal, data)
 
-	spec.MaxRetries = -1
+	spec.Exec.MaxRetries = -1
 	noRetry, err := NewRunner(p, spec)
 	if err != nil {
 		t.Fatal(err)
@@ -362,7 +362,7 @@ func TestFaultTransientRetryInvisible(t *testing.T) {
 			rep.Results[2].Err, rep.Results[6].Err)
 	}
 
-	spec.MaxRetries = 0 // back to DefaultMaxRetries (2)
+	spec.Exec.MaxRetries = 0 // back to DefaultMaxRetries (2)
 	spec.Fault.FailCount = DefaultMaxRetries + 1
 	exhausted, err := NewRunner(p, spec)
 	if err != nil {
@@ -387,15 +387,15 @@ func TestFaultTransientRetryInvisible(t *testing.T) {
 func TestFaultWatchdogConvergesAfterResume(t *testing.T) {
 	p := newPipeline(t)
 	spec := smallSpec()
-	spec.Workers = 2
+	spec.Exec.Workers = 2
 	clean, err := NewRunner(p, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cleanJournal, _ := journalRun(t, clean, -1)
 
-	spec.JobTimeout = 250 * time.Millisecond
-	spec.Fault = FaultSpec{HangAt: []int{3}, HangFor: 2 * time.Second}
+	spec.Exec.JobTimeout = Duration(250 * time.Millisecond)
+	spec.Fault = FaultSpec{HangAt: []int{3}, HangFor: Duration(2 * time.Second)}
 	hung, err := NewRunner(p, spec)
 	if err != nil {
 		t.Fatal(err)
@@ -480,7 +480,7 @@ func TestFaultFromSeedDeterministic(t *testing.T) {
 func TestJournalParseAndValidate(t *testing.T) {
 	p := newPipeline(t)
 	spec := smallSpec()
-	spec.Workers = 4
+	spec.Exec.Workers = 4
 	r, err := NewRunner(p, spec)
 	if err != nil {
 		t.Fatal(err)
@@ -563,7 +563,7 @@ func TestJournalParseAndValidate(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		other, err := NewRunner(p, Spec{Apps: []string{"LightSensor"}, NoScenarios: true})
+		other, err := NewRunner(p, BatchSpec{Matrix: MatrixSpec{Apps: []string{"LightSensor"}, NoScenarios: true}})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -16,7 +16,7 @@ import (
 )
 
 // TransientErrPrefix marks a JobResult.Err as transient: the runner's
-// fault boundary retries the job (up to Spec.MaxRetries extra attempts)
+// fault boundary retries the job (up to ExecSpec.MaxRetries extra attempts)
 // instead of recording the failure. Job implementations can opt into
 // retry the same way — prefix the error string — for failure modes that
 // are genuinely attempt-scoped; everything the simulator itself reports
@@ -31,28 +31,30 @@ func IsTransientErr(s string) bool { return strings.HasPrefix(s, TransientErrPre
 // injects nothing. All faults are first-attempt-only (or first
 // FailCount attempts, for transients): a retried or resumed job runs
 // clean, which is exactly the convergence property the differential
-// suites pin.
+// suites pin. As the Fault section of a BatchSpec it serializes with
+// the spec, but it is never carried across a resume and never shipped
+// to coordinator workers.
 type FaultSpec struct {
 	// PanicAt lists job indices whose first attempt panics. Panics are
 	// not retried in-run: the job is recorded as a deterministic failure
 	// and a later -resume re-runs it clean.
-	PanicAt []int
+	PanicAt []int `json:"panic_at,omitempty"`
 	// TransientAt lists job indices whose first FailCount attempts fail
 	// with a transient error; the fault boundary's bounded retry then
 	// lets the job succeed in-run (or exhaust its attempts when
 	// FailCount > MaxRetries).
-	TransientAt []int
+	TransientAt []int `json:"transient_at,omitempty"`
 	// FailCount is how many attempts of a TransientAt job fail
 	// (default 1).
-	FailCount int
+	FailCount int `json:"fail_count,omitempty"`
 	// HangAt lists job indices whose first attempt blocks for HangFor —
 	// watchdog fodder. NewRunner rejects HangAt without a positive
-	// Spec.JobTimeout, because a hang with no watchdog stalls a worker
-	// for the full HangFor.
-	HangAt []int
+	// ExecSpec.JobTimeout, because a hang with no watchdog stalls a
+	// worker for the full HangFor.
+	HangAt []int `json:"hang_at,omitempty"`
 	// HangFor is how long a HangAt job blocks (default 30s; tests use
 	// short hangs so abandoned attempt goroutines exit promptly).
-	HangFor time.Duration
+	HangFor Duration `json:"hang_for,omitempty"`
 }
 
 // Enabled reports whether the spec injects anything.
@@ -117,7 +119,7 @@ func compileFaults(f FaultSpec, jobs int, jobTimeout time.Duration) (*faultState
 		transientAt: map[int]bool{},
 		hangAt:      map[int]bool{},
 		failCount:   f.FailCount,
-		hangFor:     f.HangFor,
+		hangFor:     f.HangFor.Std(),
 	}
 	if st.failCount <= 0 {
 		st.failCount = 1
@@ -144,7 +146,7 @@ func compileFaults(f FaultSpec, jobs int, jobTimeout time.Duration) (*faultState
 		return nil, err
 	}
 	if len(st.hangAt) > 0 && jobTimeout <= 0 {
-		return nil, fmt.Errorf("fleet: fault hang injection requires a positive Spec.JobTimeout watchdog")
+		return nil, fmt.Errorf("fleet: fault hang injection requires a positive ExecSpec.JobTimeout watchdog")
 	}
 	return st, nil
 }

@@ -30,63 +30,8 @@ import (
 )
 
 // DefaultMaxRetries is how many extra attempts a transiently failing
-// job gets when Spec.MaxRetries is zero.
+// job gets when ExecSpec.MaxRetries is zero.
 const DefaultMaxRetries = 2
-
-// Spec selects the job matrix.
-type Spec struct {
-	// Apps restricts the Table IV applications by name (nil = all).
-	Apps []string
-	// Scenarios restricts the attack scenarios by name (nil = all).
-	// Use NoScenarios to run an app-only matrix.
-	Scenarios []string
-	// NoApps / NoScenarios drop a whole dimension.
-	NoApps      bool
-	NoScenarios bool
-	// Defenses restricts the defense columns by registry name (nil =
-	// every registered defense, in core.Defenses order).
-	Defenses []string
-	// Repeat runs every job this many times (default 1); repeats are
-	// distinct jobs, so determinism is checked across them too.
-	Repeat int
-	// Workers sizes the pool (default: GOMAXPROCS; 1 = sequential).
-	Workers int
-	// NoRecycle makes every job construct a fresh machine instead of
-	// recycling a pooled one — the reference lifecycle the recycling
-	// differential tests compare against.
-	NoRecycle bool
-	// Generated sizes the generated scenario dimension (zero Count
-	// disables it).
-	Generated GeneratedSpec
-	// MaxRetries bounds the extra attempts a job reporting a transient
-	// failure (see TransientErrPrefix) gets before the failure is
-	// recorded. Zero means DefaultMaxRetries; negative disables retry.
-	// Retries happen immediately, on the same worker, with the machine
-	// recycled back to its sealed snapshot, so a retried success is
-	// byte-identical to a first-attempt success.
-	MaxRetries int
-	// JobTimeout arms the per-job wall-clock watchdog: a job still
-	// running after this long is abandoned and recorded as a
-	// deterministic watchdog failure instead of hanging the batch (the
-	// worker's pooled machines are discarded, since the runaway attempt
-	// may still be mutating one). Zero disables the watchdog; none of
-	// these execution knobs affect job results, only whether a runaway
-	// job can stall the run.
-	JobTimeout time.Duration
-	// Fault injects deterministic faults by job index — the harness the
-	// crash-safety differential suites drive. The zero value injects
-	// nothing.
-	Fault FaultSpec
-}
-
-// GeneratedSpec adds a third matrix dimension of seed-derived attack
-// variants (internal/scenario): Count scenarios generated from Seed,
-// each run on every selected defense. Generation is deterministic, so
-// the dimension inherits the fleet's byte-identical-results contract.
-type GeneratedSpec struct {
-	Seed  uint64
-	Count int
-}
 
 // Job is one cell of the matrix.
 type Job struct {
@@ -150,6 +95,7 @@ func (a *artifact) pre(spec *core.DefenseSpec) *isa.Predecoded {
 // are reused.
 type Runner struct {
 	p         *core.Pipeline
+	spec      BatchSpec // resolved (ResolveSpec) — the batch's canonical identity
 	apps      []apps.App
 	scenarios []attacks.Scenario
 	defenses  []*core.DefenseSpec
@@ -159,7 +105,6 @@ type Runner struct {
 	jobs      []Job
 	workers   int
 	repeat    int
-	gen       GeneratedSpec
 
 	// Fault boundary configuration (see runJobSafe).
 	maxRetries int
@@ -207,58 +152,60 @@ func (r *Runner) attemptPool(worker int) *machinePool {
 	return st.pool
 }
 
-// NewRunner builds all artifacts for the matrix selected by spec
-// (sequentially, so preparation is deterministic) and enumerates the
-// jobs.
-func NewRunner(p *core.Pipeline, spec Spec) (*Runner, error) {
-	r := &Runner{p: p, artifacts: map[string]*artifact{}, workers: spec.Workers}
+// NewRunner resolves the spec (ResolveSpec), builds all artifacts for
+// the selected matrix (sequentially, so preparation is deterministic)
+// and enumerates the jobs.
+func NewRunner(p *core.Pipeline, spec BatchSpec) (*Runner, error) {
+	spec, err := ResolveSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{p: p, spec: spec, artifacts: map[string]*artifact{}, workers: spec.Exec.Workers}
 	if r.workers <= 0 {
 		r.workers = runtime.GOMAXPROCS(0)
 	}
-	r.recycle = !spec.NoRecycle
+	r.recycle = !spec.Exec.NoRecycle
 	r.worker = make([]workerState, r.workers)
-	r.gen = spec.Generated
-	r.maxRetries = spec.MaxRetries
+	r.maxRetries = spec.Exec.MaxRetries
 	if r.maxRetries == 0 {
 		r.maxRetries = DefaultMaxRetries
 	} else if r.maxRetries < 0 {
 		r.maxRetries = 0
 	}
-	r.jobTimeout = spec.JobTimeout
-	if spec.Defenses == nil {
-		r.defenses = core.Defenses()
-	} else {
-		for _, name := range spec.Defenses {
-			d, err := core.DefenseByName(name)
-			if err != nil {
-				return nil, fmt.Errorf("fleet: %w", err)
-			}
-			r.defenses = append(r.defenses, d)
+	r.jobTimeout = spec.Exec.JobTimeout.Std()
+	// The resolved matrix carries explicit, registry-validated name
+	// lists; map them back to their registry objects.
+	for _, name := range spec.Matrix.Defenses {
+		d, err := core.DefenseByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
 		}
+		r.defenses = append(r.defenses, d)
 	}
 	r.specOf = make(map[string]*core.DefenseSpec, len(r.defenses))
 	for _, d := range r.defenses {
 		r.specOf[d.Name] = d
 	}
-	repeat := spec.Repeat
-	if repeat <= 0 {
-		repeat = 1
-	}
-	r.repeat = repeat
-
-	if !spec.NoApps {
-		list, err := selectApps(spec.Apps)
-		if err != nil {
-			return nil, err
+	r.repeat = spec.Matrix.Repeat
+	for _, n := range spec.Matrix.Apps {
+		a, ok := apps.ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("fleet: unknown application %q", n)
 		}
-		r.apps = list
+		r.apps = append(r.apps, a)
 	}
-	if !spec.NoScenarios {
-		list, err := selectScenarios(spec.Scenarios)
-		if err != nil {
-			return nil, err
+	if len(spec.Matrix.Scenarios) > 0 {
+		byName := map[string]attacks.Scenario{}
+		for _, s := range attacks.Scenarios() {
+			byName[s.Name] = s
 		}
-		r.scenarios = list
+		for _, n := range spec.Matrix.Scenarios {
+			s, ok := byName[n]
+			if !ok {
+				return nil, fmt.Errorf("fleet: unknown scenario %q", n)
+			}
+			r.scenarios = append(r.scenarios, s)
+		}
 	}
 
 	for _, app := range r.apps {
@@ -272,8 +219,8 @@ func NewRunner(p *core.Pipeline, spec Spec) (*Runner, error) {
 		}
 	}
 	var genItems []scenario.Generated
-	if spec.Generated.Count > 0 {
-		batch := scenario.Generate(spec.Generated.Seed, spec.Generated.Count)
+	if spec.Matrix.Generated.Count > 0 {
+		batch := scenario.Generate(spec.Matrix.Generated.Seed, spec.Matrix.Generated.Count)
 		for _, v := range batch.Victims {
 			if _, err := r.prepare("gen/"+v.Name, v.Name+".s", v.Source); err != nil {
 				return nil, fmt.Errorf("fleet: building generated victim %s: %w", v.Name, err)
@@ -286,7 +233,7 @@ func NewRunner(p *core.Pipeline, spec Spec) (*Runner, error) {
 		}
 	}
 
-	for rep := 0; rep < repeat; rep++ {
+	for rep := 0; rep < r.repeat; rep++ {
 		for _, app := range r.apps {
 			for _, d := range r.defenses {
 				r.jobs = append(r.jobs, Job{
@@ -385,6 +332,12 @@ func (r *Runner) BuildFor(kind, name string) *core.BuildResult {
 
 // Workers returns the configured pool size.
 func (r *Runner) Workers() int { return r.workers }
+
+// Spec returns the runner's resolved BatchSpec — the canonical,
+// serializable identity of the batch. It round-trips: NewRunner on the
+// returned spec enumerates the identical job matrix, which is how a
+// coordinator ships its batch to worker processes.
+func (r *Runner) Spec() BatchSpec { return r.spec }
 
 // Run executes the matrix on the worker pool and aggregates the report.
 // Per-job failures — including panics, which the fault boundary turns
@@ -793,39 +746,4 @@ func (r *Runner) runGenJob(mp *machinePool, job Job) JobResult {
 	res.Oracle = g.Check(r.specOf[job.Defense], o)
 	res.CheckOK = res.Oracle == ""
 	return res
-}
-
-func selectApps(names []string) ([]apps.App, error) {
-	if names == nil {
-		return apps.All(), nil
-	}
-	var out []apps.App
-	for _, n := range names {
-		a, ok := apps.ByName(n)
-		if !ok {
-			return nil, fmt.Errorf("fleet: unknown application %q", n)
-		}
-		out = append(out, a)
-	}
-	return out, nil
-}
-
-func selectScenarios(names []string) ([]attacks.Scenario, error) {
-	all := attacks.Scenarios()
-	if names == nil {
-		return all, nil
-	}
-	byName := map[string]attacks.Scenario{}
-	for _, s := range all {
-		byName[s.Name] = s
-	}
-	var out []attacks.Scenario
-	for _, n := range names {
-		s, ok := byName[n]
-		if !ok {
-			return nil, fmt.Errorf("fleet: unknown scenario %q", n)
-		}
-		out = append(out, s)
-	}
-	return out, nil
 }

@@ -22,7 +22,7 @@ func newPipeline(t *testing.T) *core.Pipeline {
 // results byte-identical to a sequential run of the same matrix.
 func TestFleetDeterminism(t *testing.T) {
 	p := newPipeline(t)
-	r, err := NewRunner(p, Spec{Workers: 8, Repeat: 2})
+	r, err := NewRunner(p, BatchSpec{Matrix: MatrixSpec{Repeat: 2}, Exec: ExecSpec{Workers: 8}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,8 +59,9 @@ func TestFleetDeterminism(t *testing.T) {
 // are bit-for-bit reproducible (machines share artifacts but no state).
 func TestFleetRepeatsIdentical(t *testing.T) {
 	p := newPipeline(t)
-	r, err := NewRunner(p, Spec{
-		Apps: []string{"TempSensor"}, NoScenarios: true, Workers: 4, Repeat: 3,
+	r, err := NewRunner(p, BatchSpec{
+		Matrix: MatrixSpec{Apps: []string{"TempSensor"}, NoScenarios: true, Repeat: 3},
+		Exec:   ExecSpec{Workers: 4},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -92,7 +93,7 @@ func TestFleetRepeatsIdentical(t *testing.T) {
 // resets without running attacker code.
 func TestFleetMatrixOutcomes(t *testing.T) {
 	p := newPipeline(t)
-	r, err := NewRunner(p, Spec{Workers: 8})
+	r, err := NewRunner(p, BatchSpec{Exec: ExecSpec{Workers: 8}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,18 +126,21 @@ func TestFleetMatrixOutcomes(t *testing.T) {
 // TestFleetSpecSelection exercises name selection and error paths.
 func TestFleetSpecSelection(t *testing.T) {
 	p := newPipeline(t)
-	if _, err := NewRunner(p, Spec{Apps: []string{"NoSuchApp"}}); err == nil {
+	if _, err := NewRunner(p, BatchSpec{Matrix: MatrixSpec{Apps: []string{"NoSuchApp"}}}); err == nil {
 		t.Fatal("unknown app accepted")
 	}
-	if _, err := NewRunner(p, Spec{Scenarios: []string{"no-such-attack"}}); err == nil {
+	if _, err := NewRunner(p, BatchSpec{Matrix: MatrixSpec{Scenarios: []string{"no-such-attack"}}}); err == nil {
 		t.Fatal("unknown scenario accepted")
 	}
-	if _, err := NewRunner(p, Spec{Defenses: []string{"no-such-defense"}}); err == nil {
+	if _, err := NewRunner(p, BatchSpec{Matrix: MatrixSpec{Defenses: []string{"no-such-defense"}}}); err == nil {
 		t.Fatal("unknown defense accepted")
 	}
-	r, err := NewRunner(p, Spec{
-		Apps: []string{"LightSensor"}, Scenarios: []string{"stack-smash"}, Workers: 2,
-		Defenses: []string{"baseline", "eilid"},
+	r, err := NewRunner(p, BatchSpec{
+		Matrix: MatrixSpec{
+			Apps: []string{"LightSensor"}, Scenarios: []string{"stack-smash"},
+			Defenses: []string{"baseline", "eilid"},
+		},
+		Exec: ExecSpec{Workers: 2},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -163,8 +167,9 @@ func TestFleetSpecSelection(t *testing.T) {
 // counters match the aggregate one's.
 func TestRunStreamMatchesRun(t *testing.T) {
 	p := newPipeline(t)
-	r, err := NewRunner(p, Spec{
-		Apps: []string{"TempSensor"}, Scenarios: []string{"stack-smash"}, Workers: 4,
+	r, err := NewRunner(p, BatchSpec{
+		Matrix: MatrixSpec{Apps: []string{"TempSensor"}, Scenarios: []string{"stack-smash"}},
+		Exec:   ExecSpec{Workers: 4},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -8,7 +8,7 @@ import (
 // genNDJSON runs a generated-only matrix through the streaming path and
 // returns the per-job NDJSON bytes — the artifact the determinism
 // contract is stated over.
-func genNDJSON(t *testing.T, spec Spec) []byte {
+func genNDJSON(t *testing.T, spec BatchSpec) []byte {
 	t.Helper()
 	r, err := NewRunner(newPipeline(t), spec)
 	if err != nil {
@@ -29,13 +29,14 @@ func genNDJSON(t *testing.T, spec Spec) []byte {
 	return buf.Bytes()
 }
 
-func genSpec(workers int, noRecycle bool) Spec {
-	return Spec{
-		NoApps:      true,
-		NoScenarios: true,
-		Generated:   GeneratedSpec{Seed: 7, Count: 48},
-		Workers:     workers,
-		NoRecycle:   noRecycle,
+func genSpec(workers int, noRecycle bool) BatchSpec {
+	return BatchSpec{
+		Matrix: MatrixSpec{
+			NoApps:      true,
+			NoScenarios: true,
+			Generated:   GeneratedSpec{Seed: 7, Count: 48},
+		},
+		Exec: ExecSpec{Workers: workers, NoRecycle: noRecycle},
 	}
 }
 
@@ -67,11 +68,13 @@ func TestGeneratedDeterminismRecycle(t *testing.T) {
 // baseline falls to at least some variants — proof the generated inputs
 // carry real attacks, not noise.
 func TestGeneratedOracle(t *testing.T) {
-	r, err := NewRunner(newPipeline(t), Spec{
-		NoApps:      true,
-		NoScenarios: true,
-		Generated:   GeneratedSpec{Seed: 1, Count: 160},
-		Workers:     8,
+	r, err := NewRunner(newPipeline(t), BatchSpec{
+		Matrix: MatrixSpec{
+			NoApps:      true,
+			NoScenarios: true,
+			Generated:   GeneratedSpec{Seed: 1, Count: 160},
+		},
+		Exec: ExecSpec{Workers: 8},
 	})
 	if err != nil {
 		t.Fatal(err)

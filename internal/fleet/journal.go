@@ -81,12 +81,35 @@ func (s JournalSpec) Fingerprint() string {
 	return hex.EncodeToString(sum[:])
 }
 
-// Spec reconstructs a runner Spec selecting exactly the journalled
+// journalSpec derives the journal-header matrix description from a
+// resolved MatrixSpec. It is a pure projection — JournalHeader, resume
+// and the coordinator/worker handshake all fingerprint through it, so
+// there is exactly one place the canonical JSON shape lives (pinned
+// bytes-and-sha256 by the golden-fingerprint test).
+func (m MatrixSpec) journalSpec() JournalSpec {
+	s := JournalSpec{
+		Apps:      m.Apps,
+		Scenarios: m.Scenarios,
+		Defenses:  make([]string, 0, len(m.Defenses)),
+		Repeat:    m.Repeat,
+		GenSeed:   m.Generated.Seed,
+		GenCount:  m.Generated.Count,
+	}
+	s.Defenses = append(s.Defenses, m.Defenses...)
+	if s.GenCount == 0 {
+		// A zero-count dimension ignores its seed; canonicalize so the
+		// fingerprint does not depend on an unused value.
+		s.GenSeed = 0
+	}
+	return s
+}
+
+// Batch reconstructs a BatchSpec selecting exactly the journalled
 // matrix. Execution knobs (workers, recycling, watchdog, retries) are
 // the caller's to fill in; faults are never carried across a resume —
 // that is what lets a faulted batch converge to a clean one.
-func (s JournalSpec) Spec() Spec {
-	return Spec{
+func (s JournalSpec) Batch() BatchSpec {
+	return BatchSpec{Matrix: MatrixSpec{
 		Apps:        s.Apps,
 		NoApps:      len(s.Apps) == 0,
 		Scenarios:   s.Scenarios,
@@ -94,7 +117,7 @@ func (s JournalSpec) Spec() Spec {
 		Defenses:    s.Defenses,
 		Repeat:      s.Repeat,
 		Generated:   GeneratedSpec{Seed: s.GenSeed, Count: s.GenCount},
-	}
+	}}
 }
 
 // JournalHeader is the first line of every journal.
@@ -164,28 +187,10 @@ type JournalSummary struct {
 	Matrix       map[string]map[string]*MatrixCell `json:"matrix,omitempty"`
 }
 
-// JournalHeader builds the header describing this runner's matrix.
+// JournalHeader builds the header describing this runner's matrix,
+// derived from the runner's resolved BatchSpec.
 func (r *Runner) JournalHeader() *JournalHeader {
-	spec := JournalSpec{
-		Defenses: make([]string, 0, len(r.defenses)),
-		Repeat:   r.repeat,
-		GenSeed:  r.gen.Seed,
-		GenCount: r.gen.Count,
-	}
-	if r.gen.Count == 0 {
-		// A zero-count dimension ignores its seed; canonicalize so the
-		// fingerprint does not depend on an unused flag value.
-		spec.GenSeed = 0
-	}
-	for _, a := range r.apps {
-		spec.Apps = append(spec.Apps, a.Name)
-	}
-	for _, sc := range r.scenarios {
-		spec.Scenarios = append(spec.Scenarios, sc.Name)
-	}
-	for _, d := range r.defenses {
-		spec.Defenses = append(spec.Defenses, d.Name)
-	}
+	spec := r.spec.Matrix.journalSpec()
 	return &JournalHeader{
 		Journal:     journalMagic,
 		Version:     JournalVersion,

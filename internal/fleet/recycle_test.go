@@ -13,11 +13,11 @@ import (
 // second pass where every machine is recycled.
 func TestRecycleFleetByteIdentical(t *testing.T) {
 	p := newPipeline(t)
-	fresh, err := NewRunner(p, Spec{Workers: 4, Repeat: 2, NoRecycle: true})
+	fresh, err := NewRunner(p, BatchSpec{Matrix: MatrixSpec{Repeat: 2}, Exec: ExecSpec{Workers: 4, NoRecycle: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	recycled, err := NewRunner(p, Spec{Workers: 4, Repeat: 2})
+	recycled, err := NewRunner(p, BatchSpec{Matrix: MatrixSpec{Repeat: 2}, Exec: ExecSpec{Workers: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
