@@ -14,14 +14,15 @@ test:
 	$(GO) test ./...
 
 # The fast/slow, block-execution, tick-equivalence,
-# recycled-vs-fresh and crash/resume differential suites are the
-# correctness contract of the hot-path optimizations, the
-# machine-recycling subsystem and the fleet's crash-safety (journaled
-# checkpointing, fault containment, resume convergence); this target
-# fails if any of them is skipped or matches nothing.
+# recycled-vs-fresh, crash/resume and service-mode differential suites
+# are the correctness contract of the hot-path optimizations, the
+# machine-recycling subsystem, the fleet's crash-safety (journaled
+# checkpointing, fault containment, resume convergence) and the fleetd
+# journal byte-identity; this target fails if any of them is skipped or
+# matches nothing.
 test-differential:
-	@out=$$($(GO) test -v -run 'TestDispatchDifferential|TestFastSlow|TestBlock|TestTickEquivalence|TestTimerTickClosedForm|TestRecycle|TestGenerated|TestCrashResume|TestFault|TestJournal|TestStreamPanic|TestStreamCancel|TestFleetCrashResumeCLI|TestFleetFaultInjectionCLI|TestCoord|TestFleetWorker|TestFleetCoordinator' \
-		./internal/mem ./internal/core ./internal/periph ./internal/fleet ./internal/fleet/pool ./internal/fleet/coord ./cmd/eilid-fleet) || { echo "$$out"; exit 1; }; \
+	@out=$$($(GO) test -v -run 'TestDispatchDifferential|TestFastSlow|TestBlock|TestTickEquivalence|TestTimerTickClosedForm|TestRecycle|TestGenerated|TestCrashResume|TestFault|TestJournal|TestStreamPanic|TestStreamCancel|TestFleetCrashResumeCLI|TestFleetFaultInjectionCLI|TestCoord|TestFleetWorker|TestFleetCoordinator|TestServe|TestFleetdSmoke' \
+		./internal/mem ./internal/core ./internal/periph ./internal/fleet ./internal/fleet/pool ./internal/fleet/coord ./internal/fleet/serve ./cmd/eilid-fleet ./cmd/eilid-fleetd) || { echo "$$out"; exit 1; }; \
 	echo "$$out" | grep -q -- '--- PASS' || { echo 'no differential tests ran'; exit 1; }; \
 	if echo "$$out" | grep -q -- '--- SKIP'; then echo "$$out" | grep -- '--- SKIP'; echo 'differential tests were skipped'; exit 1; fi; \
 	echo "differential suites: $$(echo "$$out" | grep -c -- '--- PASS') passes, no skips"
@@ -43,6 +44,7 @@ fuzz-smoke:
 bench-smoke:
 	$(GO) test -run='^$$' -bench='BenchmarkSimulator_Throughput$$|BenchmarkSimulator_ThroughputNoBlocks$$|BenchmarkFleet_MachineChurn' -benchtime=1x .
 	$(GO) test -run='^$$' -bench='BenchmarkCoordinator_ShardScaling' -benchtime=1x ./cmd/eilid-fleet
+	$(GO) test -run='^$$' -bench='BenchmarkFleetd_WarmResubmit' -benchtime=1x ./cmd/eilid-fleetd
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
@@ -57,6 +59,7 @@ bench-json:
 	$(GO) test -run='^$$' -bench='BenchmarkSimulator_Throughput|BenchmarkFleet_MachineChurn' -benchtime=2s . > BENCH.txt.tmp
 	$(GO) test -run='^$$' -bench='BenchmarkSimulator_FleetMatrix$$|BenchmarkTable4$$' -benchtime=1x . >> BENCH.txt.tmp
 	$(GO) test -run='^$$' -bench='BenchmarkCoordinator_ShardScaling' -benchtime=1x ./cmd/eilid-fleet >> BENCH.txt.tmp
+	$(GO) test -run='^$$' -bench='BenchmarkFleetd_WarmResubmit' -benchtime=10x ./cmd/eilid-fleetd >> BENCH.txt.tmp
 	@f=$$($(GO) run ./cmd/eilid-benchjson -next < BENCH.txt.tmp) || { rm -f BENCH.txt.tmp; exit 1; }; \
 	rm -f BENCH.txt.tmp; echo "wrote $$f"
 

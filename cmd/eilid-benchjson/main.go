@@ -26,6 +26,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -38,11 +39,51 @@ type Result struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
+// Host records the machine that produced the numbers. Benchmark
+// trajectories only mean something when points from different hosts
+// can be told apart, so every BENCH_<n>.json is stamped with the
+// toolchain and CPU it ran on.
+type Host struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// CPUModel comes from /proc/cpuinfo and is empty on platforms
+	// without it; the parsed `cpu:` header from the bench output is
+	// kept alongside as a fallback identifier.
+	CPUModel string `json:"cpu_model,omitempty"`
+}
+
+// hostInfo stamps the running machine.
+func hostInfo() Host {
+	return Host{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+	}
+}
+
+// cpuModel extracts the first "model name" entry from /proc/cpuinfo
+// (best-effort; empty where the file or field is missing).
+func cpuModel() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
+}
+
 // Output is the file schema.
 type Output struct {
 	Goos       string   `json:"goos,omitempty"`
 	Goarch     string   `json:"goarch,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
+	Host       Host     `json:"host"`
 	Benchmarks []Result `json:"benchmarks"`
 }
 
@@ -67,6 +108,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
+	out.Host = hostInfo()
 	if len(out.Benchmarks) == 0 {
 		fmt.Fprintln(stderr, "eilid-benchjson: no benchmark lines on stdin")
 		return 1

@@ -68,6 +68,25 @@ func TestRunWritesFile(t *testing.T) {
 	if len(parsed.Benchmarks) != 3 {
 		t.Fatalf("file has %d benchmarks, want 3", len(parsed.Benchmarks))
 	}
+	if parsed.Host.GoVersion == "" || parsed.Host.GOMAXPROCS < 1 || parsed.Host.NumCPU < 1 {
+		t.Fatalf("host metadata not stamped: %+v", parsed.Host)
+	}
+}
+
+// TestHostInfo: the stamp reflects the running toolchain, so a record
+// produced on another machine is distinguishable from this one.
+func TestHostInfo(t *testing.T) {
+	h := hostInfo()
+	if !strings.HasPrefix(h.GoVersion, "go") {
+		t.Errorf("GoVersion = %q, want a go version string", h.GoVersion)
+	}
+	if h.GOMAXPROCS < 1 || h.NumCPU < 1 {
+		t.Errorf("CPU counts not stamped: %+v", h)
+	}
+	// CPUModel is best-effort, but on Linux CI /proc/cpuinfo exists.
+	if _, err := os.Stat("/proc/cpuinfo"); err == nil && h.CPUModel == "" {
+		t.Error("CPUModel empty despite a readable /proc/cpuinfo")
+	}
 }
 
 func TestRunNextSelectsFreeIndex(t *testing.T) {

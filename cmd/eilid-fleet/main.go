@@ -327,6 +327,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "eilid-fleet: %v: stopping dispatch, draining in-flight jobs (signal again to force quit)\n", s)
 		interrupt()
 		if _, ok := <-sigc; ok {
+			// Hard quit skips deferred cleanup, so a WriteFileAtomic in
+			// flight (resume compaction, coordinator merge) can orphan
+			// its temp file mid-rename. Temp names are unique and the
+			// next atomic write to the same journal reaps `path.tmp*`
+			// leftovers, so the orphan can neither be mistaken for a
+			// journal nor accrete across crashes.
 			os.Exit(130)
 		}
 	}()

@@ -341,3 +341,52 @@ func TestFleetFlagErrors(t *testing.T) {
 		t.Errorf("-h did not print usage:\n%s", errb.String())
 	}
 }
+
+// TestFleetResumeReapsOrphanTemp: a force quit (second signal) exits
+// mid-WriteFileAtomic without deferred cleanup and can strand
+// `journal.tmp*` files next to the journal. A later resume — which
+// rewrites the journal through the same atomic path — must reap them
+// and still converge to the clean journal.
+func TestFleetResumeReapsOrphanTemp(t *testing.T) {
+	dir := t.TempDir()
+	matrix := []string{"-apps", "LightSensor", "-scenarios", "stack-smash"}
+
+	clean := dir + "/clean.ndjson"
+	var out, errb strings.Builder
+	if code := run(append(matrix, "-workers", "4", "-q", "-json", clean), &out, &errb); code != 0 {
+		t.Fatalf("clean run: exit %d, stderr: %s", code, errb.String())
+	}
+
+	killed := dir + "/killed.ndjson"
+	errb.Reset()
+	if code := run(append(matrix, "-workers", "1", "-interrupt-after", "1", "-q", "-json", killed), &out, &errb); code != 3 {
+		t.Fatalf("interrupted run: exit %d, want 3; stderr: %s", code, errb.String())
+	}
+	orphans := []string{killed + ".tmp", killed + ".tmp-867530"}
+	for _, p := range orphans {
+		if err := os.WriteFile(p, []byte("torn rename leftovers"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	errb.Reset()
+	if code := run([]string{"-resume", killed, "-workers", "4", "-q"}, &out, &errb); code != 0 {
+		t.Fatalf("resume: exit %d, stderr: %s", code, errb.String())
+	}
+	for _, p := range orphans {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("resume left orphan temp %s in place", p)
+		}
+	}
+	want, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(killed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(want) != string(got) {
+		t.Fatal("resumed journal differs from the uninterrupted run")
+	}
+}

@@ -45,10 +45,45 @@ type shardSink struct {
 	done       int
 	stallAfter int
 	stallMode  string
+	err        error         // first write/flush error, sticky
+	failed     chan struct{} // closed when err is first recorded
+}
+
+func newShardSink(w *bufio.Writer, stallAfter int, stallMode string) *shardSink {
+	if stallAfter < 0 {
+		stallAfter = -1
+	}
+	return &shardSink{w: w, stallAfter: stallAfter, stallMode: stallMode, failed: make(chan struct{})}
+}
+
+// failLocked records the sink's first write error and signals the run
+// loop (which merges failed into its cancel channel) to stop
+// dispatching jobs whose lines could never be journalled. Callers hold
+// s.mu.
+func (s *shardSink) failLocked(err error) {
+	if s.err == nil {
+		s.err = err
+		close(s.failed)
+	}
+}
+
+// sinkErr returns the first write error the sink hit, if any — job
+// line, flush or heartbeat alike.
+func (s *shardSink) sinkErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
 }
 
 func (s *shardSink) emit(jr fleet.JobResult) error {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		// The journal is already broken; journalling more lines after
+		// the break could only corrupt the growth signal the
+		// coordinator watches.
+		return s.err
+	}
 	err := fleet.WriteNDJSONLine(s.w, jr)
 	if err == nil {
 		err = s.w.Flush()
@@ -69,8 +104,9 @@ func (s *shardSink) emit(jr fleet.JobResult) error {
 				time.Sleep(time.Hour)
 			}
 		}
+	} else {
+		s.failLocked(err)
 	}
-	s.mu.Unlock()
 	return err
 }
 
@@ -83,12 +119,32 @@ func (s *shardSink) heartbeatLoop(interval time.Duration, stop <-chan struct{}) 
 			return
 		case <-t.C:
 			s.mu.Lock()
-			fleet.WriteJournalHeartbeat(s.w, s.done)
-			s.w.Flush()
+			err := s.err
+			if err == nil {
+				err = fleet.WriteJournalHeartbeat(s.w, s.done)
+				if err == nil {
+					err = s.w.Flush()
+				}
+				if err != nil {
+					// A heartbeat that cannot reach the journal means the
+					// coordinator will see a dead worker no matter what we
+					// do; surface the error instead of ticking silently
+					// against a broken stream.
+					s.failLocked(err)
+				}
+			}
 			s.mu.Unlock()
+			if err != nil {
+				return
+			}
 		}
 	}
 }
+
+// journalCreate opens the worker's shard journal — a package variable
+// so tests can substitute a writer that fails mid-stream and exercise
+// the sink's error surfacing.
+var journalCreate = func(path string) (io.WriteCloser, error) { return os.Create(path) }
 
 // parseShard parses "lo:hi" against the job count.
 func parseShard(s string, n int) (lo, hi int, err error) {
@@ -127,15 +183,12 @@ func runWorker(runner *fleet.Runner, shardArg, journalPath string, heartbeat tim
 		return 2
 	}
 
-	f, err := os.Create(journalPath)
+	f, err := journalCreate(journalPath)
 	if err != nil {
 		fmt.Fprintln(stderr, "eilid-fleet: worker:", err)
 		return 1
 	}
-	s := &shardSink{w: bufio.NewWriter(f), stallAfter: stallAfter, stallMode: stallMode}
-	if stallAfter < 0 {
-		s.stallAfter = -1
-	}
+	s := newShardSink(bufio.NewWriter(f), stallAfter, stallMode)
 	werr := fleet.WriteJournalHeader(s.w, runner.JournalHeader())
 	if werr == nil {
 		werr = fleet.WriteJournalShard(s.w, lo, hi)
@@ -154,19 +207,36 @@ func runWorker(runner *fleet.Runner, shardArg, journalPath string, heartbeat tim
 		go s.heartbeatLoop(heartbeat, stop)
 	}
 
+	// A sink failure — job line or heartbeat — must stop dispatch just
+	// like a signal would, so merge s.failed into the cancel channel the
+	// runner watches. stopMerge reaps the merge goroutine on the normal
+	// exit path.
+	merged := make(chan struct{})
+	stopMerge := make(chan struct{})
+	defer close(stopMerge)
+	go func() {
+		select {
+		case <-cancel:
+		case <-s.failed:
+		case <-stopMerge:
+			return
+		}
+		close(merged)
+	}()
+
 	indices := make([]int, 0, hi-lo)
 	for i := lo; i < hi; i++ {
 		indices = append(indices, i)
 	}
-	var emitErr error
-	interrupted, err := runner.RunIndices(indices, cancel, func(jr fleet.JobResult) {
-		if emitErr == nil {
-			emitErr = s.emit(jr)
-		}
+	interrupted, err := runner.RunIndices(indices, merged, func(jr fleet.JobResult) {
+		s.emit(jr)
 	})
 	close(stop)
+	// A sink error outranks "interrupted": the failure path closes
+	// merged to halt dispatch, so interrupted=true with a broken journal
+	// is an I/O failure (exit 1), not a graceful interruption (exit 3).
 	if err == nil {
-		err = emitErr
+		err = s.sinkErr()
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "eilid-fleet: worker:", err)

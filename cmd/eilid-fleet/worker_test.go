@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"eilid/internal/core"
+	"eilid/internal/fleet"
+)
+
+// blockedWriter fails every write once tripped (and from the start by
+// default) — the unit-level stand-in for a full disk under the shard
+// journal.
+type blockedWriter struct {
+	mu     sync.Mutex
+	writes int
+	err    error
+}
+
+func (w *blockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.writes++
+	return 0, w.err
+}
+
+func (w *blockedWriter) attempts() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writes
+}
+
+// TestShardSinkHeartbeatError: a heartbeat that cannot reach the
+// journal must surface its write error — record it, signal failure and
+// stop the loop — not tick on silently against a broken stream.
+func TestShardSinkHeartbeatError(t *testing.T) {
+	w := &blockedWriter{err: fmt.Errorf("disk full")}
+	s := newShardSink(bufio.NewWriter(w), -1, "kill")
+
+	stop := make(chan struct{})
+	loopDone := make(chan struct{})
+	go func() {
+		s.heartbeatLoop(time.Millisecond, stop)
+		close(loopDone)
+	}()
+	select {
+	case <-s.failed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("heartbeat write error never signalled")
+	}
+	// The loop exits on its own after the failure; stop stays open to
+	// prove it is the error, not the stop channel, that ends it.
+	select {
+	case <-loopDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("heartbeat loop kept running after a write error")
+	}
+	close(stop)
+	if err := s.sinkErr(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("sinkErr = %v, want the heartbeat's write error", err)
+	}
+	// The sink is sticky-broken: emit must return the recorded error
+	// without attempting another write.
+	before := w.attempts()
+	if err := s.emit(fleet.JobResult{}); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("emit after heartbeat failure = %v, want sticky error", err)
+	}
+	if w.attempts() != before {
+		t.Fatal("emit wrote to a sink already known to be broken")
+	}
+}
+
+// TestShardSinkEmitError: a failed job-line write is recorded once and
+// signalled on the failure channel.
+func TestShardSinkEmitError(t *testing.T) {
+	w := &blockedWriter{err: fmt.Errorf("journal torn")}
+	s := newShardSink(bufio.NewWriter(w), -1, "kill")
+	if err := s.emit(fleet.JobResult{}); err == nil {
+		t.Fatal("emit on a failing writer returned nil")
+	}
+	select {
+	case <-s.failed:
+	default:
+		t.Fatal("emit error did not signal the failure channel")
+	}
+	if s.done != 0 {
+		t.Fatalf("failed emit counted as done: %d", s.done)
+	}
+}
+
+// failingJournal replaces the worker's journal file in tests: writes
+// succeed until the payload matches trip (or until failAfter writes),
+// then every write fails. A non-zero delay parks the writing goroutine
+// inside each successful write, which on a single-CPU machine is what
+// reliably lets the heartbeat goroutine wake up and contend for the
+// sink during an otherwise CPU-bound run.
+type failingJournal struct {
+	mu        sync.Mutex
+	trip      string
+	failAfter int
+	delay     time.Duration
+	writes    int
+	buf       bytes.Buffer
+	broken    bool
+}
+
+func (f *failingJournal) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writes++
+	if f.broken || (f.trip != "" && bytes.Contains(p, []byte(f.trip))) || (f.failAfter > 0 && f.writes > f.failAfter) {
+		f.broken = true
+		return 0, fmt.Errorf("injected journal write failure")
+	}
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	return f.buf.Write(p)
+}
+
+func (f *failingJournal) Close() error { return nil }
+
+func workerRunner(t *testing.T) *fleet.Runner {
+	t.Helper()
+	p, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := fleet.NewRunner(p, fleet.BatchSpec{
+		Matrix: fleet.MatrixSpec{Apps: []string{"LightSensor"}, NoScenarios: true},
+		Exec:   fleet.ExecSpec{Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestWorkerHeartbeatFailureExitsNonzero: end to end through
+// runWorker — when heartbeat lines stop reaching the journal the
+// worker exits 1 (I/O failure), not 0 and not 3 (interrupted), even
+// though the failure path stops dispatch the way a signal would.
+func TestWorkerHeartbeatFailureExitsNonzero(t *testing.T) {
+	fj := &failingJournal{trip: `"journal":"heartbeat"`, delay: 2 * time.Millisecond}
+	orig := journalCreate
+	journalCreate = func(string) (io.WriteCloser, error) { return fj, nil }
+	defer func() { journalCreate = orig }()
+
+	var stderr strings.Builder
+	code := runWorker(workerRunner(t), "0:4", "ignored", 200*time.Microsecond, -1, "kill", nil, &stderr)
+	if code != 1 {
+		t.Fatalf("worker exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "injected journal write failure") {
+		t.Fatalf("worker stderr does not surface the write error: %s", stderr.String())
+	}
+}
+
+// TestWorkerEmitFailureExitsNonzero: a job line that cannot be
+// journalled fails the worker with exit 1 and the error on stderr.
+func TestWorkerEmitFailureExitsNonzero(t *testing.T) {
+	fj := &failingJournal{failAfter: 2} // header + shard marker succeed
+	orig := journalCreate
+	journalCreate = func(string) (io.WriteCloser, error) { return fj, nil }
+	defer func() { journalCreate = orig }()
+
+	var stderr strings.Builder
+	code := runWorker(workerRunner(t), "0:4", "ignored", 0, -1, "kill", nil, &stderr)
+	if code != 1 {
+		t.Fatalf("worker exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "injected journal write failure") {
+		t.Fatalf("worker stderr does not surface the write error: %s", stderr.String())
+	}
+}

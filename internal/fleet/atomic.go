@@ -5,20 +5,29 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 )
 
 // WriteFileAtomic durably replaces path with the bytes produced by
-// write: the content goes to a temp file in the same directory, the
-// file is fsynced before the rename and the parent directory is fsynced
-// after it, so a power loss at any point leaves either the old file or
-// the complete new one — never an empty or half-written journal. The
-// temp file is removed on any error.
+// write: the content goes to a uniquely named temp file in the same
+// directory, the file is fsynced before the rename and the parent
+// directory is fsynced after it, so a power loss at any point leaves
+// either the old file or the complete new one — never an empty or
+// half-written journal. The temp file is removed on any error, and
+// temp files orphaned by an earlier hard kill (a second SIGINT
+// os.Exits mid-write, skipping deferred cleanup) are reaped before the
+// new one is created.
 func WriteFileAtomic(path string, write func(w io.Writer) error) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	reapTemps(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
+	// CreateTemp opens 0600; journals are ordinary outputs, so restore
+	// the permissions os.Create would have given the final file.
+	f.Chmod(0o644)
 	w := bufio.NewWriter(f)
 	err = write(w)
 	if err == nil {
@@ -41,7 +50,7 @@ func WriteFileAtomic(path string, write func(w io.Writer) error) error {
 	}
 	// The rename itself lives in the directory; fsync it so the
 	// replacement survives a crash too.
-	d, err := os.Open(filepath.Dir(path))
+	d, err := os.Open(dir)
 	if err != nil {
 		return err
 	}
@@ -50,4 +59,28 @@ func WriteFileAtomic(path string, write func(w io.Writer) error) error {
 		err = cerr
 	}
 	return err
+}
+
+// reapTemps removes `path.tmp*` leftovers — both this package's unique
+// `path.tmp-XXXX` names and the fixed `path.tmp` older builds used. A
+// force-quit between temp creation and rename abandons the temp; the
+// next atomic write to the same path (a resume's compaction, a re-run)
+// sweeps it so crashed batches don't accrete garbage next to their
+// journals. Errors are deliberately ignored: reaping is best-effort
+// hygiene, and the write itself neither reads nor depends on the
+// orphans.
+func reapTemps(path string) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), base+".tmp") {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
 }

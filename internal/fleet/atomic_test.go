@@ -1,0 +1,85 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAtomicReapsOrphans: temp files a hard kill left next to the
+// target — the legacy fixed `.tmp` name and this package's unique
+// `.tmp-XXXX` names alike — are swept by the next atomic write, while
+// neighbours that merely share a prefix survive.
+func TestAtomicReapsOrphans(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.ndjson")
+	orphans := []string{
+		path + ".tmp",
+		path + ".tmp-12345",
+	}
+	keep := []string{
+		filepath.Join(dir, "out.ndjson2.tmp"), // different base
+		filepath.Join(dir, "other.ndjson.tmp"),
+	}
+	for _, p := range append(append([]string{}, orphans...), keep...) {
+		if err := os.WriteFile(p, []byte("half-written garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "payload\n")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if raw, err := os.ReadFile(path); err != nil || string(raw) != "payload\n" {
+		t.Fatalf("target = %q, %v", raw, err)
+	}
+	for _, p := range orphans {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("orphan %s survived the atomic write", p)
+		}
+	}
+	for _, p := range keep {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("unrelated file %s was reaped: %v", p, err)
+		}
+	}
+}
+
+// TestAtomicErrorLeavesNoTemp: a failing write callback must remove its
+// own unique temp and leave the previous target intact.
+func TestAtomicErrorLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.ndjson")
+	if err := os.WriteFile(path, []byte("previous\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial")
+		return fmt.Errorf("injected failure")
+	})
+	if err == nil || err.Error() != "injected failure" {
+		t.Fatalf("WriteFileAtomic = %v, want the callback's error", err)
+	}
+	if raw, _ := os.ReadFile(path); string(raw) != "previous\n" {
+		t.Fatalf("target corrupted by failed write: %q", raw)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "out.ndjson" {
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("failed write left temp files behind: %v", names)
+	}
+}

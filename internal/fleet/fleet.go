@@ -79,6 +79,9 @@ type artifact struct {
 	build   *core.BuildResult
 	preOrig *isa.Predecoded
 	preInst *isa.Predecoded
+	// warmKey content-addresses the artifact (sha256 of its assembly
+	// source) for the cross-batch Warm cache; empty outside warm runs.
+	warmKey string
 }
 
 // pre returns the decode cache for a defense's build flavour.
@@ -111,6 +114,12 @@ type Runner struct {
 	jobTimeout time.Duration
 	fault      *faultState
 
+	// warm is the optional cross-batch cache (NewRunnerWarm): prepare
+	// consults it before building, machineFor before constructing, and
+	// ReleaseMachines returns the pooled machines to it when the batch
+	// is over. Nil for ordinary single-batch runners.
+	warm *Warm
+
 	// recycle keeps one fully constructed machine per worker per matrix
 	// cell and recycles it between jobs instead of paying NewMachine +
 	// firmware load per job. worker[w] is owned by worker w, and every
@@ -137,7 +146,15 @@ type workerState struct {
 // runaway attempt the handle is replaced, so the runaway keeps (only)
 // its own machines and later jobs never share one with it.
 type machinePool struct {
-	machines map[string]*core.Machine // kind/name/defense → machine
+	machines map[string]pooledMachine // kind/name/defense → machine
+}
+
+// pooledMachine pairs a pooled machine with the content-addressed key
+// ReleaseMachines files it under in the warm cache (empty when the
+// runner has none).
+type pooledMachine struct {
+	m       *core.Machine
+	warmKey string
 }
 
 // attemptPool hands the next job attempt the worker's current pool,
@@ -147,7 +164,7 @@ func (r *Runner) attemptPool(worker int) *machinePool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.pool == nil {
-		st.pool = &machinePool{machines: map[string]*core.Machine{}}
+		st.pool = &machinePool{machines: map[string]pooledMachine{}}
 	}
 	return st.pool
 }
@@ -156,11 +173,23 @@ func (r *Runner) attemptPool(worker int) *machinePool {
 // the selected matrix (sequentially, so preparation is deterministic)
 // and enumerates the jobs.
 func NewRunner(p *core.Pipeline, spec BatchSpec) (*Runner, error) {
+	return NewRunnerWarm(p, spec, nil)
+}
+
+// NewRunnerWarm is NewRunner backed by a cross-batch warm cache:
+// artifacts already in the cache are reused instead of rebuilt, fresh
+// builds are published into it, and machineFor checks out idle warm
+// machines before constructing new ones. Results are byte-identical to
+// a cold runner's — every reused machine is recycled to its sealed
+// snapshot before a job touches it — which the warm differential
+// suites pin. Call ReleaseMachines when the batch is done to return
+// the pooled machines for the next batch.
+func NewRunnerWarm(p *core.Pipeline, spec BatchSpec, warm *Warm) (*Runner, error) {
 	spec, err := ResolveSpec(spec)
 	if err != nil {
 		return nil, err
 	}
-	r := &Runner{p: p, spec: spec, artifacts: map[string]*artifact{}, workers: spec.Exec.Workers}
+	r := &Runner{p: p, spec: spec, warm: warm, artifacts: map[string]*artifact{}, workers: spec.Exec.Workers}
 	if r.workers <= 0 {
 		r.workers = runtime.GOMAXPROCS(0)
 	}
@@ -278,6 +307,12 @@ func (r *Runner) prepare(key, file, source string) (*artifact, error) {
 	if a, ok := r.artifacts[key]; ok {
 		return a, nil
 	}
+	if r.warm != nil {
+		if a := r.warm.artifact(file, source); a != nil {
+			r.artifacts[key] = a
+			return a, nil
+		}
+	}
 	build, err := r.p.Build(file, source)
 	if err != nil {
 		return nil, err
@@ -288,6 +323,10 @@ func (r *Runner) prepare(key, file, source string) (*artifact, error) {
 	}
 	if a.preInst, err = r.snapshot(build.Instrumented.Image, true); err != nil {
 		return nil, err
+	}
+	if r.warm != nil {
+		a.warmKey = warmContentKey(file, source)
+		r.warm.putArtifact(a)
 	}
 	r.artifacts[key] = a
 	return a, nil
@@ -546,19 +585,62 @@ func (r *Runner) machineFor(mp *machinePool, job Job) (*core.Machine, error) {
 		return r.newMachine(a, spec)
 	}
 	key := artifactKey(job) + "/" + job.Defense
-	if m, ok := mp.machines[key]; ok {
-		if err := m.Recycle(); err != nil {
+	if pm, ok := mp.machines[key]; ok {
+		if err := pm.m.Recycle(); err != nil {
 			return nil, err
 		}
-		return m, nil
+		return pm.m, nil
+	}
+	// Before constructing, try the cross-batch warm cache: an idle
+	// machine from an earlier batch of the same (artifact, defense)
+	// cell recycles to its sealed snapshot exactly like an in-batch
+	// pool hit does.
+	var warmKey string
+	if r.warm != nil && a.warmKey != "" {
+		warmKey = a.warmKey + "/" + job.Defense
+		if m := r.warm.takeMachine(warmKey); m != nil {
+			if err := m.Recycle(); err != nil {
+				return nil, err
+			}
+			mp.machines[key] = pooledMachine{m: m, warmKey: warmKey}
+			return m, nil
+		}
 	}
 	m, err := r.newMachine(a, spec)
 	if err != nil {
 		return nil, err
 	}
 	m.Snapshot()
-	mp.machines[key] = m
+	mp.machines[key] = pooledMachine{m: m, warmKey: warmKey}
 	return m, nil
+}
+
+// ReleaseMachines moves every machine still held by the runner's
+// worker pools into the warm cache, leaving the runner's pools empty.
+// Call it only after the batch has fully drained (no attempt running);
+// machines the per-job watchdog abandoned were already detached from
+// the worker pools, so they are never released — their runaway attempt
+// keeps sole ownership. No-op without a warm cache or with recycling
+// off.
+func (r *Runner) ReleaseMachines() {
+	if r.warm == nil || !r.recycle {
+		return
+	}
+	for i := range r.worker {
+		st := &r.worker[i]
+		st.mu.Lock()
+		mp := st.pool
+		st.pool = nil
+		st.mu.Unlock()
+		if mp == nil {
+			continue
+		}
+		for _, pm := range mp.machines {
+			if pm.warmKey != "" {
+				r.warm.putMachine(pm.warmKey, pm.m)
+			}
+		}
+	}
 }
 
 // ExecuteApp runs one application build under the given defense on a

@@ -200,6 +200,30 @@ func (r *Runner) JournalHeader() *JournalHeader {
 	}
 }
 
+// JournalHeaderForSpec builds the journal header a batch with this
+// spec will carry, without building any artifacts: the job count is
+// arithmetic over the resolved matrix (the generator emits exactly
+// Count items, each a distinct scenario). It is byte-identical to the
+// header Runner.JournalHeader writes for the same spec — the service
+// mode relies on that to journal batches that never started (drained
+// while queued) without paying a runner's preparation cost.
+func JournalHeaderForSpec(spec BatchSpec) (*JournalHeader, error) {
+	rs, err := ResolveSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	m := rs.Matrix
+	js := m.journalSpec()
+	jobs := m.Repeat * len(m.Defenses) * (len(m.Apps) + len(m.Scenarios) + m.Generated.Count)
+	return &JournalHeader{
+		Journal:     journalMagic,
+		Version:     JournalVersion,
+		Fingerprint: js.Fingerprint(),
+		Jobs:        jobs,
+		Spec:        js,
+	}, nil
+}
+
 // writeLine marshals v and writes it as one NDJSON line.
 func writeLine(w io.Writer, v any) error {
 	b, err := json.Marshal(v)

@@ -1,0 +1,136 @@
+package fleet
+
+// Warm is the server-lifetime cache behind eilid-fleetd's service mode:
+// build artifacts and recycled machines that outlive any single batch.
+// A cold batch pays the full preparation cost — assembling and
+// instrumenting every firmware, snapshotting decode caches, fusing
+// block tables, constructing machines — while a warm resubmission of
+// the same (or an overlapping) matrix finds all of that already built
+// and runs straight on recycled machines.
+//
+// Entries are content-addressed: artifacts key on the sha256 of their
+// assembly source (never on the matrix-cell name, which for generated
+// victims could collide across seeds if a family ever renamed its
+// parameters), and machines key on their artifact's content key plus
+// the defense column. A machine is only ever handed to a job whose
+// artifact and defense match the ones it was built for, and every
+// checkout recycles it back to its sealed post-load snapshot — the same
+// Machine.Recycle contract the in-batch pools rely on — so warm reuse
+// is observationally identical to a cold construction. The cross-batch
+// differential suites pin that byte-identity.
+//
+// A Warm is safe for concurrent use; batches borrow machines during a
+// run and Runner.ReleaseMachines returns them when the batch ends.
+// Machines abandoned by the per-job watchdog are never released back
+// (their runaway attempt keeps sole ownership), so a warm pool never
+// contains a machine another goroutine may still be mutating.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"eilid/internal/core"
+)
+
+// Warm caches build artifacts and idle recycled machines across
+// batches. The zero value is not usable; call NewWarm.
+type Warm struct {
+	mu        sync.Mutex
+	artifacts map[string]*artifact       // content key → shared artifact
+	machines  map[string][]*core.Machine // content key + "/" + defense → idle machines
+	stats     WarmStats
+}
+
+// WarmStats counts cache traffic — the observable the warm-reuse tests
+// and the /healthz endpoint report.
+type WarmStats struct {
+	// Artifacts and Machines are the current cache sizes.
+	Artifacts int `json:"artifacts"`
+	Machines  int `json:"machines"`
+	// Hits and misses accumulate over the cache's lifetime. An artifact
+	// miss is a firmware actually built; a machine miss is only counted
+	// indirectly (constructions happen in the runner), so MachineHits
+	// alone measures cross-batch recycling.
+	ArtifactHits   int `json:"artifact_hits"`
+	ArtifactMisses int `json:"artifact_misses"`
+	MachineHits    int `json:"machine_hits"`
+}
+
+// NewWarm creates an empty warm cache.
+func NewWarm() *Warm {
+	return &Warm{
+		artifacts: map[string]*artifact{},
+		machines:  map[string][]*core.Machine{},
+	}
+}
+
+// warmContentKey addresses an artifact by what it is built from, not
+// what the matrix calls it.
+func warmContentKey(file, source string) string {
+	h := sha256.New()
+	h.Write([]byte(file))
+	h.Write([]byte{0})
+	h.Write([]byte(source))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// artifact returns the cached artifact for this source, or nil on a
+// miss. The returned artifact is shared and read-only.
+func (w *Warm) artifact(file, source string) *artifact {
+	key := warmContentKey(file, source)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	a := w.artifacts[key]
+	if a != nil {
+		w.stats.ArtifactHits++
+	} else {
+		w.stats.ArtifactMisses++
+	}
+	return a
+}
+
+// putArtifact caches a freshly built artifact under its content key.
+func (w *Warm) putArtifact(a *artifact) {
+	if a.warmKey == "" {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.artifacts[a.warmKey]; !ok {
+		w.artifacts[a.warmKey] = a
+		w.stats.Artifacts = len(w.artifacts)
+	}
+}
+
+// takeMachine checks an idle machine out of the pool for this
+// (artifact content, defense) key, or returns nil. The caller owns the
+// machine until it is released back and must Recycle it before use.
+func (w *Warm) takeMachine(key string) *core.Machine {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	pool := w.machines[key]
+	if len(pool) == 0 {
+		return nil
+	}
+	m := pool[len(pool)-1]
+	w.machines[key] = pool[:len(pool)-1]
+	w.stats.Machines--
+	w.stats.MachineHits++
+	return m
+}
+
+// putMachine returns an idle machine to the pool.
+func (w *Warm) putMachine(key string, m *core.Machine) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.machines[key] = append(w.machines[key], m)
+	w.stats.Machines++
+}
+
+// Stats snapshots the cache counters.
+func (w *Warm) Stats() WarmStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
